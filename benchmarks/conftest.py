@@ -1,0 +1,24 @@
+"""Benchmark harness conventions.
+
+Each benchmark regenerates one table or figure of the paper (or one
+ablation from DESIGN.md), asserts its qualitative *shape* (who wins, by
+roughly what factor, where crossovers fall — absolute numbers are
+simulator-dependent, see EXPERIMENTS.md), and prints the same rows the
+experiment CLI prints.
+
+Runs are deterministic simulations, so each benchmark executes exactly
+once (``pedantic(rounds=1, iterations=1)``); the benchmark timer then
+reports the harness cost of regenerating the result.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,32 @@
+"""Ablation — passive load balancing policies.
+
+Shape: balancing sharply beats no balancing when work is born on one
+node; the paper's thresholded total-process-count policy produces far
+fewer rejected migration requests than the ready-count-only policy it
+rejects ("will not work well if the number of ready processes ... is
+used as the only criterion").
+"""
+
+from repro.exps.ablation_loadbalance import run
+from repro.metrics.report import ascii_table
+
+
+def test_ablation_load_balancing(run_once):
+    data = run_once(run, quick=True, nodes=4)
+    rows = [
+        [d["policy"], f"{d['time_ns']/1e9:.3f}s", d["migrations"], d["rejections"]]
+        for d in data
+    ]
+    print()
+    print(ascii_table(["policy", "time", "migrations", "rejections"], rows))
+
+    by_policy = {d["policy"]: d for d in data}
+    off = by_policy["off"]
+    ready = by_policy["ready-count"]
+    thresholds = by_policy["thresholds"]
+    # Balancing wins big over a node-0 pile-up.
+    assert thresholds["time_ns"] < off["time_ns"] / 1.8
+    assert ready["time_ns"] < off["time_ns"] / 1.8
+    assert thresholds["migrations"] > 0
+    # The paper's criterion: the thresholded policy minimises rejections.
+    assert thresholds["rejections"] < ready["rejections"]

@@ -1,0 +1,35 @@
+"""Ablation — write-invalidate (IVY's choice) vs write-update.
+
+Shape: update cuts message traffic on polling producer/consumer sharing
+(readers never re-fault), but loses on migratory synchronisation pages
+and on write-dominated pages — which is why invalidation is the right
+default, as IVY chose.
+"""
+
+from repro.exps.ablation_writepolicy import run
+from repro.metrics.report import ascii_table
+
+
+def test_ablation_write_policies(run_once):
+    data = run_once(run, quick=True, nodes=4)
+    rows = []
+    for workload, per_policy in data.items():
+        for policy, stats in per_policy.items():
+            rows.append([workload, policy, f"{stats['time_ns']/1e9:.3f}s", stats["msgs"]])
+    print()
+    print(ascii_table(["workload", "policy", "time", "msgs"], rows))
+
+    polling = data["polling consumers"]
+    assert polling["update"]["msgs"] < 0.75 * polling["invalidate"]["msgs"], (
+        "update must cut producer/consumer traffic"
+    )
+    assert polling["update"]["read_faults"] < polling["invalidate"]["read_faults"]
+
+    migratory = data["eventcount consumers"]
+    assert migratory["update"]["time_ns"] > migratory["invalidate"]["time_ns"], (
+        "migratory sync pages must hurt the update policy"
+    )
+
+    writeheavy = data["write dominated"]
+    assert writeheavy["update"]["time_ns"] > 2 * writeheavy["invalidate"]["time_ns"]
+    assert writeheavy["invalidate"].get("updates", 0) == 0

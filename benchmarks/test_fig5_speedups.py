@@ -1,0 +1,37 @@
+"""Figure 5 — speedups of the six-program benchmark suite.
+
+Shape assertions (from the paper's Figure 5 and its discussion):
+
+- the well-behaved programs (linear solver, PDE, TSP, matmul) are
+  "almost linear": clearly growing with p and well above the weak ones;
+- dot-product is the deliberate weak case: little computation, lots of
+  data movement — its curve is flat/poor at every p;
+- the sort sits in between and well below linear.
+"""
+
+from repro.exps.fig5 import run
+from repro.metrics.report import format_speedup_table
+
+
+def test_fig5_speedups(run_once):
+    results = run_once(run, quick=True)
+    print()
+    print(format_speedup_table(results))
+    by_name = {r.app_name: r for r in results}
+
+    for name in ("linear eqn (jacobi)", "TSP", "matrix multiply"):
+        curve = dict(by_name[name].curve())
+        assert curve[2] > 1.5, f"{name} should scale at p=2: {curve}"
+        assert curve[8] > 3.5, f"{name} should keep scaling to p=8: {curve}"
+        assert curve[8] > curve[2], name
+
+    pde = dict(by_name["3-D PDE"].curve())
+    assert pde[4] > 1.8 and pde[8] > 2.0, f"PDE should scale: {pde}"
+
+    dot = dict(by_name["dot-product"].curve())
+    assert dot[8] < 1.5, f"dot-product must stay communication-bound: {dot}"
+
+    sort_curve = dict(by_name["merge-split sort"].curve())
+    assert 1.0 < sort_curve[4] < 4.0, f"sort is sub-linear but positive: {sort_curve}"
+    # Ranking: the strong apps beat sort, sort beats dot-product.
+    assert dict(by_name["matrix multiply"].curve())[8] > sort_curve[8] > dot[8]

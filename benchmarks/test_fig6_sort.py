@@ -1,0 +1,32 @@
+"""Figure 6 — merge-split sort speedup vs the no-communication ideal.
+
+Shape: the measured curve is positive but sub-linear and sits *below*
+the already-sub-linear algorithmic ideal ("even with no communication
+costs, the algorithm does not yield linear speedup").
+"""
+
+from repro.exps.fig6 import ideal_speedup, run
+from repro.exps.presets import sort_factory
+from repro.metrics.report import ascii_table
+
+
+def test_fig6_sort_speedup(run_once):
+    result = run_once(run, quick=True, procs=(1, 2, 4, 8))
+    n = sort_factory(full=False)(1).nrecords
+    rows = [
+        [p, f"{s:.2f}", f"{ideal_speedup(n, p):.2f}"] for p, s in result.curve()
+    ]
+    print()
+    print(ascii_table(["p", "measured", "ideal"], rows, title="Figure 6"))
+
+    curve = dict(result.curve())
+    for p in (2, 4, 8):
+        ideal = ideal_speedup(n, p)
+        assert ideal < p, "the algorithm itself is sub-linear"
+        assert curve[p] < ideal + 0.05, (
+            f"measured cannot beat the no-communication ideal at p={p}"
+        )
+    # Positive but clearly sub-linear ("does not look very good").
+    assert curve[2] > 1.1
+    assert curve[4] > 1.3
+    assert curve[8] < 4.0

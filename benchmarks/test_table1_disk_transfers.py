@@ -1,0 +1,31 @@
+"""Table 1 — disk page transfers of each 3-D PDE iteration, 1 vs 2 procs.
+
+Shape (paper: 699/2264/1702/1502/1586/1604 vs 1452/928/781/91/54/14):
+
+- one processor keeps paying disk transfers every iteration (its sweep
+  never fits in memory);
+- two processors start with substantial traffic while the data
+  structures spread out of the initialising node, then decay to ~zero.
+"""
+
+from repro.exps.table1 import run
+from repro.metrics.report import ascii_table
+
+
+def test_table1_disk_transfer_series(run_once):
+    data = run_once(run, quick=True, procs=(1, 2))
+    rows = [[f"{p} proc"] + series for p, series in sorted(data.items())]
+    print()
+    print(ascii_table(["config"] + [f"it{i+1}" for i in range(6)], rows, title="Table 1"))
+
+    one, two = data[1], data[2]
+    # 1 processor: steady thrash — late iterations stay high.
+    tail_1p = one[3:]
+    assert min(tail_1p) > 50, f"1-proc series must stay high: {one}"
+    # 2 processors: decays — the tail is a small fraction of iteration 1
+    # and far below the 1-processor tail.
+    tail_2p = two[3:]
+    assert max(tail_2p) < two[0] / 2, f"2-proc series must decay: {two}"
+    assert max(tail_2p) < min(tail_1p) / 4, f"2-proc tail must be far below 1-proc: {two} vs {one}"
+    # First iterations on 2 procs show real traffic (the spread-out phase).
+    assert two[0] > 20, f"2-proc iteration 1 moves the data set: {two}"

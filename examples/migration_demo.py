@@ -1,0 +1,95 @@
+"""Scenario: process migration and passive load balancing.
+
+Demonstrates the part of IVY the paper calls "quite a gain": processes
+migrate between workstations with nothing but a PCB transfer and stack
+page-ownership handoff, because everything they touch lives in the one
+shared address space.
+
+Part 1 — manual migration: a process walks the whole ring, carrying a
+counter it keeps in shared memory (every access transparently resolves
+against whichever node it currently runs on).
+
+Part 2 — passive balancing: a burst of jobs born on node 0; idle nodes
+announce themselves, pull work, and the burst finishes ~Nx faster.
+
+Run:  python examples/migration_demo.py
+"""
+
+from repro import ClusterConfig, Ivy
+from repro.sync.eventcount import EC_RECORD_BYTES
+
+NODES = 4
+
+
+def walking_process(ctx, counter_addr, done_ec):
+    ctx.set_migratable(True)
+    visited = []
+    for hop in range(ctx.nnodes):
+        target = (ctx.node_id + 1) % ctx.nnodes
+        yield from ctx.migrate_to(target)
+        visited.append(ctx.node_id)
+        value = yield from ctx.read_i64(counter_addr)
+        yield from ctx.write_i64(counter_addr, value + 1)
+    print(f"  walker visited processors: {visited}")
+    yield from ctx.ec_advance(done_ec)
+
+
+def part1(ctx):
+    counter = yield from ctx.malloc(8)
+    yield from ctx.write_i64(counter, 0)
+    done = yield from ctx.malloc(EC_RECORD_BYTES)
+    yield from ctx.ec_init(done)
+    yield from ctx.spawn(walking_process, counter, done)
+    yield from ctx.ec_wait(done, 1)
+    count = yield from ctx.read_i64(counter)
+    return count
+
+
+def burst_job(ctx, done_ec):
+    for _ in range(12):
+        yield ctx.compute(25_000_000)  # 25 ms of work
+        yield ctx.yield_cpu()
+    yield from ctx.ec_advance(done_ec)
+
+
+def part2(ctx):
+    done = yield from ctx.malloc(EC_RECORD_BYTES)
+    yield from ctx.ec_init(done)
+    jobs = 3 * ctx.nnodes
+    for _ in range(jobs):
+        yield from ctx.spawn(burst_job, done)  # all born here, on node 0
+    yield from ctx.ec_wait(done, jobs)
+    return jobs
+
+
+def main() -> None:
+    print("Part 1 — a process migrates around the ring")
+    ivy = Ivy(ClusterConfig(nodes=NODES))
+    count = ivy.run(part1)
+    moved = sum(n.counters["processes_migrated_out"] for n in ivy.cluster.nodes)
+    print(f"  increments observed : {count} (one per hop)")
+    print(f"  migrations performed: {moved}")
+    print(f"  ownership transfers : "
+          f"{sum(n.counters['ownership_transfers'] for n in ivy.cluster.nodes)}"
+          " (upper stack pages move without their bytes)\n")
+
+    print("Part 2 — passive load balancing of a burst born on node 0")
+    for balancing in (False, True):
+        config = ClusterConfig(nodes=NODES).with_sched(
+            load_balancing=balancing, null_timeout=50_000_000,
+            lower_threshold=1, upper_threshold=2,
+        )
+        ivy = Ivy(config)
+        jobs = ivy.run(part2)
+        migrations = sum(
+            n.counters["processes_migrated_out"] for n in ivy.cluster.nodes
+        )
+        label = "balancing on " if balancing else "balancing off"
+        print(
+            f"  {label}: {jobs} jobs in {ivy.time_ns / 1e9:.3f}s"
+            f" ({migrations} migrations)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for legacy editable installs (`pip install -e .` without wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""ivy-svm: a full reproduction of IVY (Li, ICPP 1988) — a shared virtual
+memory system for parallel computing — on a deterministic simulated
+loosely-coupled multiprocessor.
+
+Quick start::
+
+    from repro import ClusterConfig, Ivy
+
+    def main(ctx):
+        addr = yield from ctx.malloc(1024)
+        yield from ctx.write_f64(addr, 42.0)
+        value = yield from ctx.read_f64(addr)
+        return value
+
+    ivy = Ivy(ClusterConfig(nodes=4))
+    print(ivy.run(main))          # -> 42.0
+    print(ivy.time_ns)            # simulated nanoseconds elapsed
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.config import (
+    ClusterConfig,
+    CpuConfig,
+    DiskConfig,
+    MemoryConfig,
+    MICROSECOND,
+    MILLISECOND,
+    RingConfig,
+    SchedConfig,
+    SECOND,
+    SvmConfig,
+)
+from repro.api.cluster import Cluster, NodeContext
+from repro.api.ivy import Ivy, IvyProcessContext
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "CpuConfig",
+    "RingConfig",
+    "DiskConfig",
+    "MemoryConfig",
+    "SvmConfig",
+    "SchedConfig",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "Cluster",
+    "NodeContext",
+    "Ivy",
+    "IvyProcessContext",
+    "__version__",
+]

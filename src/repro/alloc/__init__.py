@@ -1,0 +1,19 @@
+"""Shared-memory allocation: IVY's memory-allocation module.
+
+`repro.alloc.firstfit` is the paper's allocator: "a simple memory
+allocation module that uses a 'first fit' algorithm with one-level
+centralized control.  The processor with which the user directly
+contacts will be appointed to the centralized memory manager.  To
+reduce the memory contention, the memory allocators allocate each piece
+of memory to the boundary of a page."
+
+`repro.alloc.twolevel` is the improvement the paper describes but had
+not implemented: per-node local allocators that carve big chunks from
+the central one, so most allocations complete without a remote
+operation.  The allocator ablation benchmark compares the two.
+"""
+
+from repro.alloc.firstfit import CentralAllocator, FreeList, OutOfSharedMemory
+from repro.alloc.twolevel import TwoLevelAllocator
+
+__all__ = ["CentralAllocator", "TwoLevelAllocator", "FreeList", "OutOfSharedMemory"]

@@ -1,0 +1,6 @@
+"""Client-facing API: cluster assembly and the IVY programming facade."""
+
+from repro.api.cluster import Cluster, NodeContext
+from repro.api.ivy import Ivy, IvyProcessContext
+
+__all__ = ["Cluster", "NodeContext", "Ivy", "IvyProcessContext"]

@@ -1,0 +1,177 @@
+"""Cluster assembly: boots one complete simulated node stack per station.
+
+A :class:`Cluster` owns the simulator, the ring, and N
+:class:`NodeContext` objects, each wiring together the full IVY stack of
+Figure 2 in the paper::
+
+    client programs
+      process management | memory allocation | initialization   (repro.api.ivy)
+      remote operation   | memory mapping                        (here)
+      OS low-level support                                       (repro.machine)
+
+This module stops at the "memory mapping" layer: hardware + network +
+coherence protocol + shared address space.  `repro.api.ivy` adds
+processes, synchronisation and allocation on top.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable
+
+from repro.config import ClusterConfig
+from repro.machine.disk import Disk
+from repro.machine.memory import PhysicalMemory
+from repro.machine.mmu import AddressLayout
+from repro.machine.pager import Pager
+from repro.metrics.collect import Counters
+from repro.net.remoteop import RemoteOp
+from repro.net.ring import TokenRing
+from repro.net.transport import Transport
+from repro.sim.kernel import Simulator
+from repro.sim.process import SimDriver, Task
+from repro.sim.rng import RngStreams
+from repro.sim.trace import NULL_TRACE, TraceRecorder
+from repro.svm.address_space import SharedAddressSpace
+from repro.svm.page import PageTable
+from repro.svm.protocol import CoherenceProtocol, make_protocol
+
+__all__ = ["Cluster", "NodeContext"]
+
+
+class NodeContext:
+    """Everything that lives on one simulated processor."""
+
+    def __init__(self, cluster: "Cluster", node_id: int) -> None:
+        config = cluster.config
+        self.cluster = cluster
+        self.node_id = node_id
+        self.counters = Counters()
+        self.memory = PhysicalMemory(
+            config.svm.page_size,
+            config.memory.frames,
+            replacement=config.memory.replacement,
+            rng=cluster.rngs.stream(f"pager-{node_id}"),
+        )
+        self.disk = Disk(config.disk, config.svm.page_size, self.counters)
+        self.pager = Pager(self.memory, self.disk, self.counters)
+        self.table = PageTable(
+            node_id, cluster.layout.npages, config.svm.manager_node
+        )
+        self.transport = Transport(
+            cluster.sim, cluster.driver, cluster.ring, node_id, config, cluster.trace
+        )
+        self.remote = RemoteOp(self.transport, cluster.driver, config, cluster.trace)
+        self.protocol: CoherenceProtocol = make_protocol(
+            config.svm.algorithm,
+            sim=cluster.sim,
+            node_id=node_id,
+            nnodes=config.nodes,
+            layout=cluster.layout,
+            table=self.table,
+            memory=self.memory,
+            pager=self.pager,
+            remote=self.remote,
+            config=config,
+            counters=self.counters,
+            trace=cluster.trace,
+        )
+        self.mem = SharedAddressSpace(
+            self.protocol, cluster.layout, config.cpu, self.counters
+        )
+        #: Filled in by repro.api.ivy when process management boots.
+        self.sched = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<NodeContext {self.node_id}>"
+
+
+class Cluster:
+    """A simulated loosely-coupled multiprocessor running the SVM."""
+
+    def __init__(self, config: ClusterConfig, trace: TraceRecorder = NULL_TRACE) -> None:
+        if config.nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        self.config = config
+        self.sim = Simulator()
+        self.trace = trace
+        trace.bind_clock(lambda: self.sim.now)
+        self.rngs = RngStreams(config.seed)
+        self.driver = SimDriver(self.sim)
+        self.layout = AddressLayout(
+            config.svm.shared_base, config.svm.shared_size, config.svm.page_size
+        )
+        self.ring = TokenRing(
+            self.sim, config.ring, config.nodes, self.rngs.stream("ring"), trace
+        )
+        self.nodes = [NodeContext(self, n) for n in range(config.nodes)]
+
+    # ------------------------------------------------------------------
+
+    def node(self, node_id: int) -> NodeContext:
+        return self.nodes[node_id]
+
+    def spawn_system(self, gen: Generator, name: str = "system") -> Task:
+        """Run a generator as a system-level (interrupt-context) task."""
+        return self.driver.spawn(gen, name)
+
+    def run(self, until: int | None = None) -> int:
+        """Drive the simulation; returns the final simulated time (ns)."""
+        return self.sim.run(until=until)
+
+    # ------------------------------------------------------------------
+    # cluster-wide measurement
+
+    def total_counters(self) -> Counters:
+        return Counters.merge(node.counters for node in self.nodes)
+
+    def counter_by_node(self, name: str) -> list[int]:
+        return [node.counters[name] for node in self.nodes]
+
+    def check_coherence_invariants(self) -> None:
+        """Assert the protocol's global invariants (used by tests after
+        quiescence): exactly one owner per materialised page, writability
+        implies sole copy, copy sets cover all readers."""
+        npages_seen: set[int] = set()
+        for node in self.nodes:
+            npages_seen.update(node.table.known_entries())
+        for page in sorted(npages_seen):
+            owners = [
+                n.node_id for n in self.nodes if n.table.entry(page).is_owner
+            ]
+            if len(owners) != 1:
+                raise AssertionError(f"page {page} has owners {owners}")
+            owner = self.nodes[owners[0]]
+            entry = owner.table.entry(page)
+            holders = {
+                n.node_id
+                for n in self.nodes
+                if n.node_id != owner.node_id
+                and n.table.entry(page).access.permits_read()
+            }
+            update_policy = self.config.svm.write_policy == "update"
+            if entry.access.permits_write() and holders and not update_policy:
+                raise AssertionError(
+                    f"page {page}: owner {owner.node_id} writable but copies at {holders}"
+                )
+            if not holders <= entry.copy_set:
+                raise AssertionError(
+                    f"page {page}: readers {holders} not covered by "
+                    f"copy_set {entry.copy_set}"
+                )
+            if update_policy and page in owner.memory:
+                # Update policy: every live copy must hold the owner's bytes.
+                golden = owner.memory.data(page)
+                for holder in holders:
+                    node = self.nodes[holder]
+                    if page in node.memory:
+                        if not (node.memory.data(page) == golden).all():
+                            raise AssertionError(
+                                f"page {page}: stale copy at node {holder}"
+                            )
+
+    def resident_bytes(self) -> dict[int, int]:
+        """Bytes of shared pages resident per node (memory-spread metric)."""
+        return {
+            node.node_id: len(node.memory) * self.config.svm.page_size
+            for node in self.nodes
+        }

@@ -1,0 +1,134 @@
+"""Parallel Jacobi linear equation solver (the paper's first benchmark).
+
+Solves ``Ax = b`` for a dense, diagonally dominant ``n x n`` system by
+Jacobi iteration.  The parallel transformation is the paper's: the rows
+of ``A`` are partitioned over one process per processor, all processes
+are synchronised at each iteration with an eventcount barrier, and
+``A``, ``x``, ``b`` live in the shared virtual memory, accessed "freely
+without regard to their location".
+
+Sharing pattern (what makes this a good SVM citizen): each worker's
+slice of ``A`` is written once during initialisation and then read-only
+— the pages migrate as read copies on the first iteration and stay
+local; only the solution vector ``x`` bounces, and it is tiny compared
+to the computation per iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.api.ivy import IvyProcessContext
+from repro.apps.common import (
+    alloc_barrier,
+    alloc_done_ec,
+    partition,
+    spawn_workers,
+    wait_done,
+)
+
+__all__ = ["JacobiApp"]
+
+
+class JacobiApp:
+    """One configured instance of the linear equation solver."""
+
+    name = "jacobi"
+
+    def __init__(self, nprocs: int, n: int = 160, iters: int = 4, seed: int = 42) -> None:
+        self.nprocs = nprocs
+        self.n = n
+        self.iters = iters
+        rng = np.random.default_rng(seed)
+        self.A = rng.uniform(-1.0, 1.0, size=(n, n))
+        # Diagonal dominance guarantees Jacobi converges.
+        self.A[np.arange(n), np.arange(n)] = n + rng.uniform(1.0, 2.0, size=n)
+        self.b = rng.uniform(-1.0, 1.0, size=n)
+
+    # ------------------------------------------------------------------
+
+    def golden(self) -> np.ndarray:
+        """Sequential Jacobi, same arithmetic, same iteration count."""
+        diag = np.diag(self.A).copy()
+        x = np.zeros(self.n)
+        for _ in range(self.iters):
+            x = (self.b - (self.A @ x - diag * x)) / diag
+        return x
+
+    def flops_per_row_iter(self) -> int:
+        return 2 * self.n + 3
+
+    # ------------------------------------------------------------------
+
+    def main(self, ctx: IvyProcessContext) -> Generator[Any, Any, np.ndarray]:
+        n = self.n
+        a_addr = yield from ctx.malloc(8 * n * n)
+        b_addr = yield from ctx.malloc(8 * n)
+        x_addr = yield from ctx.malloc(8 * n)
+        xn_addr = yield from ctx.malloc(8 * n)
+        # b and x are initialised here; each worker initialises its own
+        # slice of A in parallel (the natural way to set up a Jacobi
+        # system, and it keeps first-touch ownership with the worker
+        # that will read those rows for the rest of the run).
+        yield from ctx.write_array(b_addr, self.b)
+        yield from ctx.write_array(x_addr, np.zeros(n))
+        barrier = yield from alloc_barrier(ctx, self.nprocs)
+        done = yield from alloc_done_ec(ctx)
+        slices = partition(n, self.nprocs)
+        yield from spawn_workers(
+            ctx, self._worker, self.nprocs,
+            a_addr, b_addr, x_addr, xn_addr, slices, barrier,
+            done_ec=done,
+        )
+        yield from wait_done(ctx, done, self.nprocs)
+        x = yield from ctx.read_array(x_addr, np.float64, n)
+        return x
+
+    def _worker(
+        self,
+        ctx: IvyProcessContext,
+        k: int,
+        a_addr: int,
+        b_addr: int,
+        x_addr: int,
+        xn_addr: int,
+        slices: list[tuple[int, int]],
+        barrier,
+    ) -> Generator[Any, Any, None]:
+        n = self.n
+        lo, hi = slices[k]
+        rows = hi - lo
+        if rows == 0:
+            yield from barrier.arrive(ctx)
+            for _ in range(self.iters):
+                yield from barrier.arrive(ctx)
+                yield from barrier.arrive(ctx)
+            return
+        # Per-worker slice of A: read once, then resident read-only.
+        yield from ctx.mem.store_array(a_addr + 8 * lo * n, self.A[lo:hi])
+        yield from barrier.arrive(ctx)
+        for _ in range(self.iters):
+            my_b = yield from ctx.mem.fetch_array(b_addr + 8 * lo, np.float64, rows)
+            a_block = yield from ctx.mem.fetch_array(
+                a_addr + 8 * lo * n, np.float64, rows * n
+            )
+            a_block = a_block.reshape(rows, n)
+            diag = a_block[np.arange(rows), np.arange(lo, hi)]
+            x = yield from ctx.mem.fetch_array(x_addr, np.float64, n)
+            yield ctx.flops(rows * self.flops_per_row_iter())
+            x_new = (my_b - (a_block @ x - diag * x[lo:hi])) / diag
+            yield from ctx.mem.store_array(xn_addr + 8 * lo, x_new)
+            yield from barrier.arrive(ctx)
+            # Publish this block into x for the next iteration.
+            yield from ctx.mem.store_array(x_addr + 8 * lo, x_new)
+            yield from barrier.arrive(ctx)
+
+    # ------------------------------------------------------------------
+
+    def check(self, result: np.ndarray) -> None:
+        expected = self.golden()
+        if not np.allclose(result, expected, rtol=1e-10, atol=1e-12):
+            worst = np.max(np.abs(result - expected))
+            raise AssertionError(f"jacobi mismatch, max abs err {worst:g}")

@@ -1,0 +1,128 @@
+"""Block odd-even merge-split sort (Baudet & Stevenson's algorithm).
+
+"At the beginning, the program divides the vector into 2N blocks for N
+processors, and creates N processes, one for each processor.  Each
+process sorts two blocks by using a quicksort algorithm. ... Each
+process then does an odd-even block merge-split sort 2N-1 times."
+
+The vector is 64-byte records with string keys; records are *really*
+moved through the shared virtual memory, so the final order checks the
+coherence of every exchange.  Comparison-heavy string keys are charged
+per comparison (`KEY_COMPARE_OPS`); data movement is charged through
+the ordinary copy-cost accessors — this ratio (real compute per block
+vs. a block transfer per phase) is what makes the algorithm's speedup
+mediocre even before communication, as Figure 6 shows.
+
+A process owns blocks ``2k`` and ``2k+1``.  In a merge-split step for
+block pair ``(j, j+1)`` the owner of the left block merges the two and
+keeps the lower half in ``j``, the upper in ``j+1``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.api.ivy import IvyProcessContext
+from repro.apps.common import alloc_barrier, alloc_done_ec, spawn_workers, wait_done
+
+__all__ = ["MergeSplitSortApp", "RECORD_BYTES"]
+
+RECORD_BYTES = 64
+#: Simple ops per string-key comparison plus the per-record bookkeeping
+#: of a merge step.  The records "contain random strings"; a byte-wise
+#: compare of long string keys plus record shuffling on a 68000-class CPU
+#: runs several hundred instructions.  Calibrated so the compute:move
+#: ratio lands in the regime of the paper's Figure 6 (see EXPERIMENTS.md).
+KEY_COMPARE_OPS = 600
+
+_dtype = np.dtype([("key", "<u8"), ("pad", f"V{RECORD_BYTES - 8}")])
+
+
+class MergeSplitSortApp:
+    """One configured instance of the merge-split sort."""
+
+    name = "sort"
+
+    def __init__(self, nprocs: int, nrecords: int = 4096, seed: int = 3) -> None:
+        if nrecords % (2 * nprocs):
+            nrecords += 2 * nprocs - nrecords % (2 * nprocs)
+        self.nprocs = nprocs
+        self.nrecords = nrecords
+        rng = np.random.default_rng(seed)
+        self.records = np.zeros(nrecords, dtype=_dtype)
+        self.records["key"] = rng.integers(0, 2**63, size=nrecords, dtype=np.uint64)
+        payload = rng.integers(0, 256, size=(nrecords, RECORD_BYTES - 8), dtype=np.uint8)
+        self.records["pad"] = np.ascontiguousarray(payload).view(f"V{RECORD_BYTES - 8}").reshape(-1)
+
+    def golden_keys(self) -> np.ndarray:
+        return np.sort(self.records["key"])
+
+    # ------------------------------------------------------------------
+
+    def main(self, ctx: IvyProcessContext) -> Generator[Any, Any, np.ndarray]:
+        nrec = self.nrecords
+        vec_addr = yield from ctx.malloc(RECORD_BYTES * nrec)
+        yield from ctx.write_array(vec_addr, self.records.view(np.uint8))
+        barrier = yield from alloc_barrier(ctx, self.nprocs)
+        done = yield from alloc_done_ec(ctx)
+        yield from spawn_workers(
+            ctx, self._worker, self.nprocs, vec_addr, barrier, done_ec=done
+        )
+        yield from wait_done(ctx, done, self.nprocs)
+        raw = yield from ctx.read_array(vec_addr, np.uint8, RECORD_BYTES * nrec)
+        return raw.view(_dtype)
+
+    def _read_block(
+        self, ctx, vec_addr: int, blk: int, count: int = 1
+    ) -> Generator[Any, Any, np.ndarray]:
+        per = self.nrecords // (2 * self.nprocs)
+        addr = vec_addr + RECORD_BYTES * per * blk
+        raw = yield from ctx.read_bytes(addr, RECORD_BYTES * per * count)
+        return raw.view(_dtype)
+
+    def _write_block(self, ctx, vec_addr: int, blk: int, recs: np.ndarray) -> Generator:
+        per = self.nrecords // (2 * self.nprocs)
+        addr = vec_addr + RECORD_BYTES * per * blk
+        yield from ctx.write_bytes(addr, recs.view(np.uint8))
+
+    def _worker(
+        self, ctx: IvyProcessContext, k: int, vec_addr: int, barrier
+    ) -> Generator[Any, Any, None]:
+        nblocks = 2 * self.nprocs
+        per = self.nrecords // nblocks
+        # Internal sort: quicksort the process's two blocks *as one
+        # range* ("each process sorts two blocks"), which is what makes
+        # 2N-1 merge phases sufficient — it already is an even phase, so
+        # the merge phases below start odd.
+        both = yield from self._read_block(ctx, vec_addr, 2 * k, count=2)
+        comparisons = int(2 * per * max(np.log2(max(2 * per, 2)), 1.0))
+        yield ctx.ops(comparisons * KEY_COMPARE_OPS)
+        order = np.argsort(both["key"], kind="stable")
+        yield from self._write_block(ctx, vec_addr, 2 * k, both[order])
+        yield from barrier.arrive(ctx)
+        # 2N-1 odd-even merge-split phases, starting with an odd phase.
+        for phase in range(nblocks - 1):
+            start = (phase + 1) % 2  # odd first: pairs (1,2),(3,4),...
+            for left in (2 * k, 2 * k + 1):
+                if (left - start) % 2 == 0 and left + 1 < nblocks and left >= start:
+                    lo_block = yield from self._read_block(ctx, vec_addr, left)
+                    hi_block = yield from self._read_block(ctx, vec_addr, left + 1)
+                    merged = np.concatenate([lo_block, hi_block])
+                    yield ctx.ops(2 * per * KEY_COMPARE_OPS)  # one merge pass
+                    order = np.argsort(merged["key"], kind="stable")
+                    merged = merged[order]
+                    yield from self._write_block(ctx, vec_addr, left, merged[:per])
+                    yield from self._write_block(ctx, vec_addr, left + 1, merged[per:])
+            yield from barrier.arrive(ctx)
+
+    # ------------------------------------------------------------------
+
+    def check(self, result: np.ndarray) -> None:
+        keys = result["key"]
+        if not np.array_equal(np.sort(keys), self.golden_keys()):
+            raise AssertionError("sort lost or duplicated records")
+        if not np.all(keys[:-1] <= keys[1:]):
+            bad = int(np.argmax(keys[:-1] > keys[1:]))
+            raise AssertionError(f"sort order violated at record {bad}")

@@ -1,0 +1,311 @@
+"""Traveling salesman by branch-and-bound with 1-tree lower bounds.
+
+"The available branches, the graph, and the least upper bound are
+stored in the shared virtual memory.  The program creates a process for
+each processor that performs the branch-and-bound algorithm on a branch
+obtained from the shared virtual memory.  These processes run in
+parallel until the tour is found.  Each process is not much different
+from the sequential one except it needs to access shared data
+structures mutually exclusively."
+
+Structure (matching that description):
+
+- the initial process enumerates all depth-2 subtours into a shared
+  *branch pool* (fixed-size records, LIFO, guarded by a shared binary
+  lock);
+- each worker repeatedly takes **one branch** from the pool and runs
+  the ordinary sequential branch-and-bound over that branch's subtree
+  with a private stack — shared-memory traffic is only the pool pop,
+  reads of the incumbent (a read copy that stays cached until some
+  improvement invalidates it — the natural DSM pattern), and the rare
+  incumbent update under the lock;
+- the lower bound for a partial tour is its cost plus the weight of a
+  minimum spanning tree over {start, current} + the unvisited cities
+  (the simplified 1-tree of the paper's reference [13]).
+
+Because pruning depends on the racing incumbent, the search exhibits
+the anomalies the paper cites [19]: node counts vary with the schedule
+and speedups can exceed p.  The *result* (the optimal tour cost) is
+schedule-independent and is checked against a Held-Karp exact solver.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.api.ivy import IvyProcessContext
+from repro.apps.common import alloc_done_ec, spawn_workers, wait_done
+
+__all__ = ["TspApp", "held_karp", "mst_weight"]
+
+#: Branch record: cost f64 | depth i64 | visited mask i64 | path bytes.
+MAX_CITIES = 16
+ENTRY_BYTES = 8 + 8 + 8 + MAX_CITIES
+#: Pool header: count i64 (plus padding for alignment).
+POOL_HEADER = 16
+#: Simple ops per Prim-step distance comparison.
+PRIM_OPS = 4
+#: Branches taken from the pool per critical section (two keeps the
+#: best-first order sharp while halving pool-lock traffic).
+BATCH = 2
+#: Re-read the shared incumbent every this many expanded nodes (the read
+#: is a cached local access except right after an improvement, so it is
+#: nearly free — checking every node keeps pruning sharp).
+BEST_REFRESH = 1
+
+
+def held_karp(w: np.ndarray) -> float:
+    """Exact TSP by Held-Karp dynamic programming (golden reference)."""
+    n = len(w)
+    full = 1 << (n - 1)
+    dp = np.full((full, n - 1), np.inf)
+    for j in range(n - 1):
+        dp[1 << j, j] = w[0, j + 1]
+    for mask in range(1, full):
+        for j in range(n - 1):
+            if not mask & (1 << j) or np.isinf(dp[mask, j]):
+                continue
+            base = dp[mask, j]
+            for k in range(n - 1):
+                if mask & (1 << k):
+                    continue
+                nxt = mask | (1 << k)
+                cand = base + w[j + 1, k + 1]
+                if cand < dp[nxt, k]:
+                    dp[nxt, k] = cand
+    best = np.inf
+    for j in range(n - 1):
+        best = min(best, dp[full - 1, j] + w[j + 1, 0])
+    return float(best)
+
+
+def mst_weight(w: np.ndarray, nodes: list[int]) -> float:
+    """Prim's MST weight over the induced subgraph."""
+    if len(nodes) <= 1:
+        return 0.0
+    sub = w[np.ix_(nodes, nodes)]
+    r = len(nodes)
+    in_tree = np.zeros(r, dtype=bool)
+    dist = sub[0].copy()
+    in_tree[0] = True
+    total = 0.0
+    for _ in range(r - 1):
+        dist_masked = np.where(in_tree, np.inf, dist)
+        j = int(np.argmin(dist_masked))
+        total += float(dist_masked[j])
+        in_tree[j] = True
+        dist = np.minimum(dist, sub[j])
+    return total
+
+
+class TspApp:
+    """One configured instance of the branch-and-bound TSP."""
+
+    name = "tsp"
+
+    def __init__(
+        self, nprocs: int, ncities: int = 10, seed: int = 21, metric: str = "random"
+    ) -> None:
+        if not 4 <= ncities <= MAX_CITIES:
+            raise ValueError(f"ncities must be in [4, {MAX_CITIES}]")
+        self.nprocs = nprocs
+        self.n = ncities
+        rng = np.random.default_rng(seed)
+        if metric == "euclidean":
+            # Road-network-like instance: triangle inequality makes the
+            # 1-tree bound sharp and the search shallow.
+            pts = rng.uniform(0.0, 100.0, size=(ncities, 2))
+            diff = pts[:, None, :] - pts[None, :, :]
+            self.w = np.sqrt((diff**2).sum(axis=2))
+        elif metric == "random":
+            # "The cost of a tour is the sum of the weights of the edges"
+            # — a general weighted graph; bounds are weaker, the search
+            # deeper, which is the regime where parallel search pays.
+            raw = rng.uniform(1.0, 100.0, size=(ncities, ncities))
+            self.w = (raw + raw.T) / 2.0
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+        np.fill_diagonal(self.w, 0.0)
+
+    _golden_cache: dict = {}
+
+    def golden(self) -> float:
+        key = (self.n, self.w.tobytes())
+        if key not in TspApp._golden_cache:
+            TspApp._golden_cache[key] = held_karp(self.w)
+        return TspApp._golden_cache[key]
+
+    def nearest_neighbour_tour(self) -> float:
+        """Greedy tour cost — the initial upper bound every run starts
+        from (sequential and parallel alike, so the comparison is fair)."""
+        unvisited = set(range(1, self.n))
+        cur, total = 0, 0.0
+        while unvisited:
+            nxt = min(unvisited, key=lambda c: self.w[cur, c])
+            total += float(self.w[cur, nxt])
+            unvisited.remove(nxt)
+            cur = nxt
+        return total + float(self.w[cur, 0])
+
+    def _seed_branches(self) -> list[bytes]:
+        """All depth-2 subtours 0 -> b -> c, the units of parallel work,
+        ordered so the most promising (smallest lower bound) is popped
+        first from the LIFO pool."""
+        scored = []
+        for b in range(1, self.n):
+            for c in range(1, self.n):
+                if c == b:
+                    continue
+                cost = float(self.w[0, b] + self.w[b, c])
+                visited = 1 | (1 << b) | (1 << c)
+                rest = [0, c] + [
+                    x for x in range(1, self.n) if not visited & (1 << x)
+                ]
+                bound = cost + mst_weight(self.w, rest)
+                scored.append(
+                    (bound, _pack_entry(cost, 3, visited, bytes([0, b, c])))
+                )
+        scored.sort(key=lambda t: -t[0])  # LIFO pops from the end
+        return [entry for _, entry in scored]
+
+    # ------------------------------------------------------------------
+
+    def main(self, ctx: IvyProcessContext) -> Generator[Any, Any, float]:
+        n = self.n
+        w_addr = yield from ctx.malloc(8 * n * n)
+        yield from ctx.write_array(w_addr, self.w)
+        best_addr = yield from ctx.malloc(8)
+        # Start from the nearest-neighbour tour, computed here like any
+        # sequential branch-and-bound would.
+        yield ctx.flops(self.n * self.n)
+        yield from ctx.write_f64(best_addr, self.nearest_neighbour_tour())
+        lock_addr = yield from ctx.malloc(1024)
+        yield from ctx.lock_init(lock_addr)
+        branches = self._seed_branches()
+        pool_addr = yield from ctx.malloc(POOL_HEADER + ENTRY_BYTES * len(branches))
+        yield ctx.ops(20 * len(branches))
+        yield ctx.flops(len(branches) * (self.n - 2) ** 2)  # seeding bounds
+        yield from ctx.write_array(
+            pool_addr, np.array([len(branches), 0], dtype=np.int64).view(np.uint8)
+        )
+        yield from ctx.write_bytes(pool_addr + POOL_HEADER, b"".join(branches))
+        done = yield from alloc_done_ec(ctx)
+        yield from spawn_workers(
+            ctx, self._worker, self.nprocs, w_addr, best_addr, lock_addr, pool_addr,
+            done_ec=done,
+        )
+        yield from wait_done(ctx, done, self.nprocs)
+        best = yield from ctx.read_f64(best_addr)
+        return best
+
+    # ------------------------------------------------------------------
+
+    def _worker(
+        self,
+        ctx: IvyProcessContext,
+        k: int,
+        w_addr: int,
+        best_addr: int,
+        lock_addr: int,
+        pool_addr: int,
+    ) -> Generator[Any, Any, None]:
+        n = self.n
+        w_flat = yield from ctx.mem.fetch_array(w_addr, np.float64, n * n)
+        w = w_flat.reshape(n, n)
+        while True:
+            # --- take a batch of branches from the shared pool ----------
+            yield from ctx.lock_acquire(lock_addr)
+            count = yield from ctx.read_i64(pool_addr)
+            if count == 0:
+                yield from ctx.lock_release(lock_addr)
+                return
+            take = min(BATCH, count)
+            raw = yield from ctx.read_bytes(
+                pool_addr + POOL_HEADER + ENTRY_BYTES * (count - take),
+                ENTRY_BYTES * take,
+            )
+            yield from ctx.write_i64(pool_addr, count - take)
+            yield from ctx.lock_release(lock_addr)
+            branches = [
+                _unpack_entry(raw[ENTRY_BYTES * i :][: ENTRY_BYTES])
+                for i in reversed(range(take))  # best bound first
+            ]
+
+            # --- sequential branch-and-bound over these subtrees --------
+            best_seen = yield from ctx.read_f64(best_addr)
+            stack = branches
+            since_refresh = 0
+            while stack:
+                cost, depth, visited, path = stack.pop()
+                since_refresh += 1
+                if since_refresh >= BEST_REFRESH:
+                    since_refresh = 0
+                    best_seen = yield from ctx.read_f64(best_addr)
+                if cost >= best_seen:
+                    continue  # thrown away, per the paper
+                last = path[depth - 1]
+                work_ops = 0
+                work_flops = 0
+                for nxt in range(n):
+                    if visited & (1 << nxt):
+                        continue
+                    step_cost = cost + float(w[last, nxt])
+                    new_depth = depth + 1
+                    if new_depth == n:
+                        total = step_cost + float(w[nxt, 0])
+                        work_flops += 2
+                        if total < best_seen:
+                            best_seen = yield from self._offer_best(
+                                ctx, lock_addr, best_addr, total
+                            )
+                        continue
+                    tree_nodes = [0, nxt] + [
+                        c for c in range(n) if not visited & (1 << c) and c != nxt
+                    ]
+                    work_ops += len(tree_nodes) ** 2 * PRIM_OPS
+                    work_flops += len(tree_nodes) ** 2
+                    bound = step_cost + mst_weight(w, tree_nodes)
+                    if bound < best_seen:
+                        stack.append(
+                            (step_cost, new_depth, visited | (1 << nxt), path + [nxt])
+                        )
+                ctx.node.counters.inc("tsp_nodes_expanded")
+                yield ctx.ops(work_ops)
+                yield ctx.flops(work_flops)
+
+    def _offer_best(
+        self, ctx: IvyProcessContext, lock_addr: int, best_addr: int, total: float
+    ) -> Generator[Any, Any, float]:
+        """Install a better tour cost (mutually exclusive); returns the
+        freshest incumbent."""
+        yield from ctx.lock_acquire(lock_addr)
+        current = yield from ctx.read_f64(best_addr)
+        if total < current:
+            yield from ctx.write_f64(best_addr, total)
+            current = total
+            ctx.node.counters.inc("tsp_incumbent_updates")
+        yield from ctx.lock_release(lock_addr)
+        return current
+
+    # ------------------------------------------------------------------
+
+    def check(self, result: float) -> None:
+        expected = self.golden()
+        if not np.isclose(result, expected, rtol=1e-9):
+            raise AssertionError(f"tsp mismatch: {result} vs optimal {expected}")
+
+
+def _pack_entry(cost: float, depth: int, visited: int, path: bytes) -> bytes:
+    head = np.array([cost], dtype=np.float64).tobytes()
+    head += np.array([depth, visited], dtype=np.int64).tobytes()
+    return head + path.ljust(MAX_CITIES, b"\x00")
+
+
+def _unpack_entry(raw: np.ndarray) -> tuple[float, int, int, list[int]]:
+    buf = bytes(raw)
+    cost = float(np.frombuffer(buf[:8], dtype=np.float64)[0])
+    depth, visited = (int(v) for v in np.frombuffer(buf[8:24], dtype=np.int64))
+    path = list(buf[24 : 24 + depth])
+    return cost, depth, visited, path

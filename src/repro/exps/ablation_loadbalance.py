@@ -1,0 +1,99 @@
+"""Ablation — passive load balancing policies.
+
+"Experiments with many parallel application programs show that the
+algorithm will not work well if the number of ready processes on each
+processor is used as the only criterion for migrating processes.  A
+better way is to use the number of processes (including both ready and
+suspended) controlled by thresholds."
+
+Workload: a burst of unequal compute-bound processes all born on node 0
+with *system* scheduling — exactly the case the balancer exists for.
+Three policies: balancing off, ready-count-only, and the paper's
+thresholded total-count policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.api.ivy import Ivy
+from repro.config import ClusterConfig, MILLISECOND
+from repro.metrics.report import ascii_table
+from repro.sync.eventcount import EC_RECORD_BYTES
+
+__all__ = ["run", "main", "POLICIES"]
+
+POLICIES = ("off", "ready-count", "thresholds")
+
+
+def _burst(policy: str, nodes: int, nprocs: int, quick: bool) -> dict:
+    sched_kw = dict(
+        load_balancing=policy != "off",
+        ready_count_only=policy == "ready-count",
+        lower_threshold=1,
+        upper_threshold=2,
+        null_timeout=50 * MILLISECOND,
+    )
+    config = ClusterConfig(nodes=nodes).with_sched(**sched_kw)
+    ivy = Ivy(config)
+    slice_ns = 20_000_000 if quick else 60_000_000
+
+    def worker(ctx, slices, done):
+        # Compute in slices, with a blocking (suspended) phase every few
+        # slices — the paper's point is precisely that suspended
+        # processes make the ready count a misleading load signal.
+        from repro.sim.process import Sleep
+
+        for i in range(slices):
+            yield ctx.compute(slice_ns)
+            if i % 3 == 2:
+                yield Sleep(slice_ns)  # blocked: not ready, still load
+            else:
+                yield ctx.yield_cpu()
+        yield from ctx.ec_advance(done)
+
+    def main_prog(ctx):
+        done = yield from ctx.malloc(EC_RECORD_BYTES)
+        yield from ctx.ec_init(done)
+        for i in range(nprocs):
+            # Uneven work: between 8 and 22 slices.
+            yield from ctx.spawn(worker, 8 + (i * 7) % 15, done)
+        yield from ctx.ec_wait(done, nprocs)
+        return True
+
+    ivy.run(main_prog)
+    migrations = sum(
+        node.counters["processes_migrated_out"] for node in ivy.cluster.nodes
+    )
+    rejections = sum(
+        node.counters["work_requests_rejected"] for node in ivy.cluster.nodes
+    )
+    return {
+        "policy": policy,
+        "time_ns": ivy.time_ns,
+        "migrations": migrations,
+        "rejections": rejections,
+    }
+
+
+def run(quick: bool = True, nodes: int = 4) -> list[dict]:
+    nprocs = 12 if quick else 24
+    return [_burst(policy, nodes, nprocs, quick) for policy in POLICIES]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true")
+    args = parser.parse_args()
+    data = run(quick=not args.full)
+    rows = [
+        [d["policy"], f"{d['time_ns'] / 1e9:.3f}s", d["migrations"], d["rejections"]]
+        for d in data
+    ]
+    print("Ablation — passive load balancing (uneven burst born on node 0)")
+    print()
+    print(ascii_table(["policy", "completion time", "migrations", "rejections"], rows))
+
+
+if __name__ == "__main__":
+    main()

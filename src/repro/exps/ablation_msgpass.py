@@ -1,0 +1,159 @@
+"""Ablation — shared virtual memory vs. message passing.
+
+The paper's motivating argument, measured: "the difficulty of passing
+complex data structures is the main drawback of message passing".
+
+Workload: a producer on node 0 builds a linked structure of E elements
+(a list of records); consumers on every other node traverse it.
+
+- Message passing must marshal the structure (chase E pointers, tag,
+  relocate), ship it to each consumer, and unmarshal (allocate + fix up)
+  on arrival — per-element costs from `repro.msgpass.marshal`.
+- On the SVM, "passing a list data structure simply requires passing a
+  pointer": consumers fault the pages over on first touch, and a repeat
+  traversal is free because the pages are already cached read copies.
+
+Both sides traverse the structure ``touches`` times, so re-use is part
+of the comparison (the second traversal is where DSM wins big).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.api.ivy import Ivy
+from repro.config import ClusterConfig
+from repro.metrics.report import ascii_table
+from repro.msgpass import MessagePassing
+from repro.sync.eventcount import EC_RECORD_BYTES
+
+__all__ = ["run", "main"]
+
+#: Bytes per linked element (a cons cell with a small payload).
+ELEMENT_BYTES = 32
+#: Simple ops to visit one element during a traversal.
+VISIT_OPS = 6
+
+
+def _svm_run(nodes: int, elements: int, touches: int) -> int:
+    ivy = Ivy(ClusterConfig(nodes=nodes))
+
+    def consumer(ctx, addr, done):
+        for _ in range(touches):
+            data = yield from ctx.mem.fetch_array(
+                addr, np.uint8, ELEMENT_BYTES * elements
+            )
+            assert data[0] == 1
+            yield ctx.ops(elements * VISIT_OPS)
+        yield from ctx.ec_advance(done)
+
+    def main_prog(ctx):
+        addr = yield from ctx.malloc(ELEMENT_BYTES * elements)
+        structure = np.ones(ELEMENT_BYTES * elements, dtype=np.uint8)
+        yield from ctx.write_array(addr, structure)
+        done = yield from ctx.malloc(EC_RECORD_BYTES)
+        yield from ctx.ec_init(done)
+        for k in range(1, nodes):
+            yield from ctx.spawn(consumer, addr, done, on=k)
+        yield from ctx.ec_wait(done, nodes - 1)
+        return True
+
+    ivy.run(main_prog)
+    return ivy.time_ns
+
+
+def _msgpass_run(nodes: int, elements: int, touches: int) -> int:
+    ivy = Ivy(ClusterConfig(nodes=nodes))
+    mp = MessagePassing(ivy)
+    nbytes = ELEMENT_BYTES * elements
+
+    def consumer(ctx, done):
+        structure = yield from mp.receive(ctx, port=1)
+        assert structure == "linked-structure"
+        for _ in range(touches):
+            yield ctx.ops(elements * VISIT_OPS)
+        yield from ctx.ec_advance(done)
+
+    def main_prog(ctx):
+        done = yield from ctx.malloc(EC_RECORD_BYTES)
+        yield from ctx.ec_init(done)
+        for k in range(1, nodes):
+            yield from ctx.spawn(consumer, done, on=k)
+        for k in range(1, nodes):
+            # One marshalled copy per consumer: E pointer-linked elements.
+            yield from mp.send(
+                ctx, k, 1, "linked-structure", nbytes=nbytes, elements=elements
+            )
+        yield from ctx.ec_wait(done, nodes - 1)
+        return True
+
+    ivy.run(main_prog)
+    return ivy.time_ns
+
+
+def run(quick: bool = True, nodes: int = 4) -> list[dict]:
+    elements = 2000 if quick else 8000
+    out = []
+    for touches in (1, 3):
+        svm = _svm_run(nodes, elements, touches)
+        mp = _msgpass_run(nodes, elements, touches)
+        out.append(
+            {
+                "workload": f"linked structure x{touches}",
+                "elements": elements,
+                "touches": touches,
+                "svm_ns": svm,
+                "msgpass_ns": mp,
+                "ratio": mp / svm,
+            }
+        )
+    out.append(_matmul_pair(nodes, quick))
+    return out
+
+
+def _matmul_pair(nodes: int, quick: bool) -> dict:
+    """The same application under both models.  Flat bulk arrays mean
+    marshalling is only a copy (no per-element pointer chasing), yet the
+    natural master/worker program still loses: the master re-marshals A
+    per worker and its sends serialise, while SVM workers pull pages
+    concurrently on demand."""
+    from repro.apps.matmul import MatmulApp
+    from repro.apps.mp_matmul import run_mp_matmul
+    from repro.metrics.speedup import run_app
+
+    n = 96 if quick else 160
+    svm = run_app(lambda p: MatmulApp(p, n=n), nodes).time_ns
+    _, ivy = run_mp_matmul(nodes, n=n)
+    return {
+        "workload": f"matmul n={n} (flat arrays)",
+        "elements": 0,
+        "touches": 1,
+        "svm_ns": svm,
+        "msgpass_ns": ivy.time_ns,
+        "ratio": ivy.time_ns / svm,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true")
+    args = parser.parse_args()
+    data = run(quick=not args.full)
+    rows = [
+        [
+            d["workload"],
+            f"{d['svm_ns'] / 1e9:.3f}s",
+            f"{d['msgpass_ns'] / 1e9:.3f}s",
+            f"{d['ratio']:.2f}x",
+        ]
+        for d in data
+    ]
+    print("Ablation — SVM vs message passing")
+    print()
+    print(ascii_table(["workload", "SVM time", "msg-pass time", "mp/svm"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Ablation — page size.
+
+"Our experience with a page size of 1K bytes has been pleasant and we
+expect that smaller page sizes (perhaps as low as 256 bytes) will work
+well also, but we are not as confident about larger page sizes, due to
+the contention problem.  The right size is clearly application
+dependent."
+
+Two workloads bracket the trade-off: jacobi (bulk read-mostly slices —
+bigger pages amortise transfer overhead) and a deliberately
+fine-grained mixed-writer workload (adjacent counters — bigger pages
+mean more false sharing and invalidation ping-pong).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.api.ivy import Ivy
+from repro.apps.jacobi import JacobiApp
+from repro.config import ClusterConfig
+from repro.metrics.report import ascii_table
+from repro.metrics.speedup import run_app
+from repro.sync.eventcount import EC_RECORD_BYTES
+
+__all__ = ["run", "main", "PAGE_SIZES"]
+
+PAGE_SIZES = (256, 512, 1024, 2048, 4096)
+
+
+def _false_sharing_time(page_size: int, rounds: int) -> int:
+    """Four nodes each repeatedly increment their own counter; counters
+    sit ``256`` bytes apart, so pages above 256 bytes force unrelated
+    writers to share a page."""
+    config = ClusterConfig(nodes=4).with_svm(page_size=page_size)
+    ivy = Ivy(config)
+
+    def worker(ctx, base, k, done):
+        addr = base + 256 * k
+        for i in range(rounds):
+            yield from ctx.write_i64(addr, i)
+            yield ctx.ops(50)
+        yield from ctx.ec_advance(done)
+
+    def main_prog(ctx):
+        base = yield from ctx.malloc(4096)
+        done = yield from ctx.malloc(EC_RECORD_BYTES)
+        yield from ctx.ec_init(done)
+        for k in range(4):
+            yield from ctx.spawn(worker, base, k, done, on=k)
+        yield from ctx.ec_wait(done, 4)
+        return True
+
+    ivy.run(main_prog)
+    return ivy.time_ns
+
+
+def run(quick: bool = True) -> list[dict]:
+    jn, jiters = (128, 6) if quick else (256, 12)
+    rounds = 30 if quick else 100
+    rows = []
+    for page_size in PAGE_SIZES:
+        config = ClusterConfig().with_svm(page_size=page_size)
+        jr = run_app(lambda p: JacobiApp(p, n=jn, iters=jiters), 4, config=config)
+        rows.append(
+            {
+                "page_size": page_size,
+                "jacobi_ns": jr.time_ns,
+                "jacobi_faults": jr.counters["read_faults"] + jr.counters["write_faults"],
+                "false_sharing_ns": _false_sharing_time(page_size, rounds),
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true")
+    args = parser.parse_args()
+    data = run(quick=not args.full)
+    rows = [
+        [
+            d["page_size"],
+            f"{d['jacobi_ns'] / 1e9:.3f}s",
+            d["jacobi_faults"],
+            f"{d['false_sharing_ns'] / 1e9:.3f}s",
+        ]
+        for d in data
+    ]
+    print("Ablation — page size (bulk workload vs. fine-grained writers)")
+    print()
+    print(
+        ascii_table(
+            ["page bytes", "jacobi time", "jacobi faults", "false-sharing time"], rows
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

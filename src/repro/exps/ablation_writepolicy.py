@@ -1,0 +1,178 @@
+"""Ablation — write-invalidate (IVY) vs write-update coherence.
+
+"The memory coherence strategies implemented [in] IVY use [the]
+invalidation approach."  The other classic design point pushes fresh
+page contents to the copy set on every write.  Two workloads bracket
+the trade-off:
+
+- **polling consumers**: one writer publishes versions of a datum,
+  every other node polls the datum itself.  Invalidation makes every
+  reader re-fault per version; update delivers the bytes before they
+  ask, so polls stay local.
+- **eventcount consumers**: the same handshake built on eventcounts —
+  and update *loses*, because synchronisation pages are migratory
+  (ownership bounces on every Advance/Wait) and the update policy keeps
+  refreshing every past owner's demoted read copy.  This migratory-page
+  pathology is the classic reason DSM systems, IVY included, chose
+  invalidation as the default.
+- **write dominated**: readers look once, then the writer keeps
+  writing.  Update pays a multicast per write to refresh copies nobody
+  reads again; invalidation pays one invalidation and writes for free.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.api.ivy import Ivy
+from repro.config import ClusterConfig
+from repro.metrics.report import ascii_table
+from repro.sync.eventcount import EC_RECORD_BYTES
+
+__all__ = ["run", "main"]
+
+
+def _polling_consumers(policy: str, nodes: int, versions: int) -> dict:
+    """Readers poll the shared datum itself (no sync pages involved).
+
+    This isolates the data page's behaviour: under invalidation every
+    new version costs each reader a fresh fault; under update the
+    reader's polls stay local and the push delivers the new version.
+    """
+    from repro.sim.process import Sleep
+
+    config = ClusterConfig(nodes=nodes).with_svm(write_policy=policy)
+    ivy = Ivy(config)
+
+    def reader(ctx, data_addr, done):
+        seen = 0
+        while seen < versions:
+            value = yield from ctx.read_i64(data_addr)
+            if value > seen:
+                seen = value
+            else:
+                yield Sleep(300_000)  # 0.3 ms poll backoff
+        yield from ctx.ec_advance(done)
+
+    def main_prog(ctx):
+        data = yield from ctx.malloc(8)
+        done = yield from ctx.malloc(EC_RECORD_BYTES)
+        yield from ctx.ec_init(done)
+        yield from ctx.write_i64(data, 0)
+        for k in range(1, nodes):
+            yield from ctx.spawn(reader, data, done, on=k)
+        for version in range(1, versions + 1):
+            yield ctx.compute(2_000_000)  # produce the next version
+            yield from ctx.write_i64(data, version)
+        yield from ctx.ec_wait(done, nodes - 1)
+        return True
+
+    ivy.run(main_prog)
+    total = ivy.cluster.total_counters()
+    return {
+        "time_ns": ivy.time_ns,
+        "read_faults": total["read_faults"],
+        "msgs": ivy.cluster.ring.stats.messages,
+    }
+
+
+def _producer_consumer(policy: str, nodes: int, versions: int) -> dict:
+    config = ClusterConfig(nodes=nodes).with_svm(write_policy=policy)
+    ivy = Ivy(config)
+
+    def reader(ctx, data_addr, ready_ec, ack_ec):
+        for version in range(1, versions + 1):
+            yield from ctx.ec_wait(ready_ec, version)
+            value = yield from ctx.read_i64(data_addr)
+            assert value == version, (value, version)
+            yield from ctx.ec_advance(ack_ec)
+
+    def main_prog(ctx):
+        data = yield from ctx.malloc(8)
+        ready = yield from ctx.malloc(EC_RECORD_BYTES)
+        ack = yield from ctx.malloc(EC_RECORD_BYTES)
+        yield from ctx.ec_init(ready)
+        yield from ctx.ec_init(ack)
+        for k in range(1, nodes):
+            yield from ctx.spawn(reader, data, ready, ack, on=k)
+        for version in range(1, versions + 1):
+            yield from ctx.write_i64(data, version)
+            yield from ctx.ec_advance(ready)
+            yield from ctx.ec_wait(ack, version * (nodes - 1))
+        return True
+
+    ivy.run(main_prog)
+    total = ivy.cluster.total_counters()
+    return {
+        "time_ns": ivy.time_ns,
+        "read_faults": total["read_faults"],
+        "msgs": ivy.cluster.ring.stats.messages,
+    }
+
+
+def _write_dominated(policy: str, nodes: int, writes: int) -> dict:
+    config = ClusterConfig(nodes=nodes).with_svm(write_policy=policy)
+    ivy = Ivy(config)
+
+    def reader(ctx, data_addr, done):
+        yield from ctx.read_i64(data_addr)  # one look, then never again
+        yield from ctx.ec_advance(done)
+
+    def main_prog(ctx):
+        data = yield from ctx.malloc(8)
+        done = yield from ctx.malloc(EC_RECORD_BYTES)
+        yield from ctx.ec_init(done)
+        yield from ctx.write_i64(data, 0)
+        for k in range(1, nodes):
+            yield from ctx.spawn(reader, data, done, on=k)
+        yield from ctx.ec_wait(done, nodes - 1)
+        for i in range(writes):
+            yield from ctx.write_i64(data, i)
+        return True
+
+    ivy.run(main_prog)
+    total = ivy.cluster.total_counters()
+    return {
+        "time_ns": ivy.time_ns,
+        "updates": total["updates_sent"],
+        "msgs": ivy.cluster.ring.stats.messages,
+    }
+
+
+def run(quick: bool = True, nodes: int = 4) -> dict:
+    versions = 12 if quick else 40
+    writes = 40 if quick else 150
+    return {
+        "polling consumers": {
+            policy: _polling_consumers(policy, nodes, versions)
+            for policy in ("invalidate", "update")
+        },
+        "eventcount consumers": {
+            policy: _producer_consumer(policy, nodes, versions)
+            for policy in ("invalidate", "update")
+        },
+        "write dominated": {
+            policy: _write_dominated(policy, nodes, writes)
+            for policy in ("invalidate", "update")
+        },
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true")
+    args = parser.parse_args()
+    data = run(quick=not args.full)
+    rows = []
+    for workload, per_policy in data.items():
+        for policy, stats in per_policy.items():
+            rows.append(
+                [workload, policy, f"{stats['time_ns'] / 1e9:.3f}s", stats["msgs"]]
+            )
+    print("Ablation — write-invalidate (IVY) vs write-update")
+    print()
+    print(ascii_table(["workload", "policy", "exec time", "ring msgs"], rows))
+
+
+if __name__ == "__main__":
+    main()

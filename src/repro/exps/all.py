@@ -1,0 +1,79 @@
+"""Run the complete experiment battery and write a consolidated report.
+
+::
+
+    python -m repro.exps.all [--full] [--out results/report.txt]
+
+Runs every figure, table and ablation in sequence, echoes each one's
+paper-style output, and (optionally) tees everything into a report file
+— the file committed as ``results/full_experiments.txt`` was produced
+this way with ``--full``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import sys
+import time
+
+from repro.exps import (
+    ablation_allocator,
+    ablation_loadbalance,
+    ablation_managers,
+    ablation_msgpass,
+    ablation_overlap,
+    ablation_pagesize,
+    ablation_writepolicy,
+    fig4,
+    fig5,
+    fig6,
+    table1,
+)
+
+EXPERIMENTS = [
+    ("fig4", fig4),
+    ("fig5", fig5),
+    ("fig6", fig6),
+    ("table1", table1),
+    ("ablation_managers", ablation_managers),
+    ("ablation_pagesize", ablation_pagesize),
+    ("ablation_allocator", ablation_allocator),
+    ("ablation_loadbalance", ablation_loadbalance),
+    ("ablation_msgpass", ablation_msgpass),
+    ("ablation_overlap", ablation_overlap),
+    ("ablation_writepolicy", ablation_writepolicy),
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale workloads")
+    parser.add_argument("--out", default=None, help="also write the report here")
+    args = parser.parse_args()
+
+    chunks: list[str] = []
+    saved_argv = sys.argv
+    for name, module in EXPERIMENTS:
+        started = time.time()
+        buffer = io.StringIO()
+        sys.argv = [name] + (["--full"] if args.full else [])
+        try:
+            with contextlib.redirect_stdout(buffer):
+                module.main()
+        finally:
+            sys.argv = saved_argv
+        body = buffer.getvalue().rstrip()
+        chunk = f"=== {name} ===\n{body}\n"
+        chunks.append(chunk)
+        print(chunk)
+        print(f"[{name}: {time.time() - started:.1f}s wall]\n")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n".join(chunks))
+        print(f"report written to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Figure 4 — super-linear speedup of the 3-D PDE solver.
+
+"The data structure for the problem is greater than the size of
+physical memory on a single processor, so when the program is run on
+one processor there is a large amount of paging between the physical
+memory and disk. ... the shared virtual memory can effectively exploit
+not only the available processors but also the combined physical
+memories."
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.exps.presets import pde_capacity
+from repro.metrics.report import ascii_table
+from repro.metrics.speedup import SpeedupResult, measure_speedups
+
+__all__ = ["run", "main"]
+
+
+def run(quick: bool = True, procs: tuple[int, ...] = (1, 2, 4, 8)) -> SpeedupResult:
+    factory, config = pde_capacity(full=not quick)
+    return measure_speedups(factory, procs=procs, config=config)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true")
+    args = parser.parse_args()
+    result = run(quick=not args.full)
+    rows = []
+    for p, s in result.curve():
+        run_ = next(r for r in result.runs if r.nprocs == p)
+        disk = run_.counters["disk_reads"] + run_.counters["disk_writes"]
+        rows.append([p, f"{s:.2f}", "yes" if s > p else "no", disk])
+    print("Figure 4 — 3-D PDE speedup when the data set exceeds one node's memory")
+    print()
+    print(
+        ascii_table(
+            ["processors", "speedup", "super-linear?", "disk transfers"], rows
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Figure 5 — speedup curves of the benchmark suite.
+
+Paper's claim: "parallel programs using a shared virtual memory yield
+almost linear and occasionally super-linear speedups"; the well-behaved
+programs (linear solver, PDE, TSP, matrix multiply) scale near-linearly
+while dot-product — lots of data movement, almost no computation —
+does not.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.exps.presets import fig5_factories, fig5_procs
+from repro.metrics.report import format_speedup_table
+from repro.metrics.speedup import SpeedupResult, measure_speedups
+
+__all__ = ["run", "main"]
+
+
+def run(quick: bool = True, procs: tuple[int, ...] | None = None) -> list[SpeedupResult]:
+    factories = fig5_factories(full=not quick)
+    procs = procs or fig5_procs(full=not quick)
+    results = []
+    for name, factory in factories.items():
+        result = measure_speedups(factory, procs=procs)
+        result.app_name = name
+        results.append(result)
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale workloads")
+    args = parser.parse_args()
+    results = run(quick=not args.full)
+    print("Figure 5 — speedups of the benchmark suite")
+    print("(every run's numerical output is checked against the sequential golden)")
+    print()
+    print(format_speedup_table(results))
+
+
+if __name__ == "__main__":
+    main()

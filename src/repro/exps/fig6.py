@@ -1,0 +1,58 @@
+"""Figure 6 — speedup of the merge-split sort.
+
+"The curve does not look very good because even with no communication
+costs, the algorithm does not yield linear speedup."  The figure
+therefore carries two series: the measured speedup on the SVM and the
+*algorithmic ideal* with communication free.
+
+Ideal model (comparisons only, which dominate): on one processor the
+program performs one internal sort of the whole vector, ``n log2 n``
+comparisons.  On N processors each of the N processes quick-sorts its
+two blocks, ``(n/N) log2 (n/N)``, and then performs ``2N-1`` merge
+phases of ``2 n/(2N) = n/N`` comparisons each (at most one active pair
+per process per phase).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+from repro.exps.presets import sort_factory
+from repro.metrics.report import ascii_table
+from repro.metrics.speedup import SpeedupResult, measure_speedups
+
+__all__ = ["run", "ideal_speedup", "main"]
+
+
+def ideal_speedup(n: int, nprocs: int) -> float:
+    """Algorithmic speedup of merge-split sort with free communication."""
+    if nprocs == 1:
+        return 1.0
+    t1 = n * math.log2(n)
+    per = n / nprocs
+    tn = per * math.log2(max(per, 2.0)) + (2 * nprocs - 1) * per
+    return t1 / tn
+
+
+def run(quick: bool = True, procs: tuple[int, ...] = (1, 2, 4, 8)) -> SpeedupResult:
+    return measure_speedups(sort_factory(full=not quick), procs=procs)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true")
+    args = parser.parse_args()
+    result = run(quick=not args.full)
+    n = sort_factory(full=args.full)(1).nrecords
+    rows = [
+        [p, f"{s:.2f}", f"{ideal_speedup(n, p):.2f}"]
+        for p, s in result.curve()
+    ]
+    print("Figure 6 — merge-split sort speedup (measured vs. no-communication ideal)")
+    print()
+    print(ascii_table(["processors", "measured", "ideal (no comm)"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Workload presets shared by the experiment drivers and benchmarks.
+
+"Quick" presets keep the qualitative shapes (who wins, crossovers,
+super-linearity) at a fraction of the simulation cost; "full" presets
+are the calibrated headline configurations recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.dotprod import DotProductApp
+from repro.apps.jacobi import JacobiApp
+from repro.apps.matmul import MatmulApp
+from repro.apps.pde3d import Pde3dApp
+from repro.apps.sort import MergeSplitSortApp
+from repro.apps.tsp import TspApp
+from repro.config import ClusterConfig
+
+__all__ = [
+    "fig5_factories",
+    "fig5_procs",
+    "pde_capacity",
+    "sort_factory",
+    "PAGE_BYTES",
+]
+
+PAGE_BYTES = 1024
+
+
+def fig5_factories(full: bool = False) -> dict[str, Callable[[int], object]]:
+    """App factories for the Figure 5 suite."""
+    if full:
+        return {
+            "linear eqn (jacobi)": lambda p: JacobiApp(p, n=512, iters=24),
+            "3-D PDE": lambda p: Pde3dApp(p, m=48, iters=20),
+            "TSP": lambda p: TspApp(p, ncities=13, seed=33),
+            "matrix multiply": lambda p: MatmulApp(p, n=224),
+            "dot-product": lambda p: DotProductApp(p, n=65536),
+            "merge-split sort": lambda p: MergeSplitSortApp(p, nrecords=8192),
+        }
+    return {
+        "linear eqn (jacobi)": lambda p: JacobiApp(p, n=256, iters=12),
+        "3-D PDE": lambda p: Pde3dApp(p, m=20, iters=12),
+        "TSP": lambda p: TspApp(p, ncities=12, seed=33),
+        "matrix multiply": lambda p: MatmulApp(p, n=160),
+        "dot-product": lambda p: DotProductApp(p, n=32768),
+        "merge-split sort": lambda p: MergeSplitSortApp(p, nrecords=4096),
+    }
+
+
+def fig5_procs(full: bool = False) -> tuple[int, ...]:
+    return (1, 2, 3, 4, 5, 6, 7, 8) if full else (1, 2, 4, 8)
+
+
+def pde_capacity(full: bool = False) -> tuple[Callable[[int], Pde3dApp], ClusterConfig]:
+    """The Figure 4 / Table 1 configuration: the PDE data set exceeds one
+    node's physical memory (frames = 1.8 of the three-vector working set
+    per vector), with the Aegis-style randomised replacement."""
+    m = 24 if full else 20
+    iters = 6
+    vector_pages = (m**3 * 8 + PAGE_BYTES - 1) // PAGE_BYTES
+    config = ClusterConfig().with_memory(
+        frames=int(1.8 * vector_pages), replacement="random"
+    )
+    return (lambda p: Pde3dApp(p, m=m, iters=iters)), config
+
+
+def sort_factory(full: bool = False) -> Callable[[int], MergeSplitSortApp]:
+    nrecords = 8192 if full else 4096
+    return lambda p: MergeSplitSortApp(p, nrecords=nrecords)

@@ -1,0 +1,15 @@
+"""Simulated workstation hardware: address translation, frame memory,
+paging disk, and the Aegis-style LRU pager.
+
+This is the substrate the Apollo DN workstations provided to IVY.  The
+MMU here is deliberately *mechanism only* (page-granular access bits and
+fault detection); all coherence *policy* lives in `repro.svm`, just as
+IVY's fault handlers lived above the Aegis MMU support.
+"""
+
+from repro.machine.mmu import Access, AddressLayout, PageFault
+from repro.machine.memory import PhysicalMemory
+from repro.machine.disk import Disk
+from repro.machine.pager import Pager
+
+__all__ = ["Access", "AddressLayout", "PageFault", "PhysicalMemory", "Disk", "Pager"]

@@ -1,0 +1,155 @@
+"""Per-node physical page frames with approximate-LRU tracking.
+
+A node's local memory is "a large cache of the shared virtual memory
+address space" (the paper, Section "Shared Virtual Memory").  This class
+is the frame pool backing that cache: bounded capacity, recency
+tracking, and pinning (pages may not be evicted while a coherence
+operation or an atomic synchronisation primitive is mid-flight).
+
+Frames hold real bytes as ``numpy.uint8`` arrays; typed views are taken
+by the shared address space, never copies (guide rule: views not copies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PhysicalMemory", "FramePressure"]
+
+
+class FramePressure(RuntimeError):
+    """No frame can be freed: every resident page is pinned."""
+
+
+class PhysicalMemory:
+    """A bounded pool of page frames keyed by shared-space page number."""
+
+    def __init__(
+        self,
+        page_size: int,
+        frames: int | None,
+        replacement: str = "lru",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if frames is not None and frames < 2:
+            raise ValueError("a node needs at least 2 page frames")
+        if replacement not in ("lru", "random"):
+            raise ValueError(f"unknown replacement policy {replacement!r}")
+        self.page_size = page_size
+        self.capacity = frames
+        self.replacement = replacement
+        self._rng = rng
+        self._frames: dict[int, np.ndarray] = {}
+        self._pins: dict[int, int] = {}
+        self._clock = 0
+        self._last_used: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._frames) >= self.capacity
+
+    def resident_pages(self) -> list[int]:
+        return list(self._frames)
+
+    # ------------------------------------------------------------------
+
+    def data(self, page: int) -> np.ndarray:
+        """The frame contents of a resident page (a live view)."""
+        frame = self._frames.get(page)
+        if frame is None:
+            raise KeyError(f"page {page} not resident")
+        self.touch(page)
+        return frame
+
+    def touch(self, page: int) -> None:
+        """Record a reference for LRU purposes."""
+        self._clock += 1
+        self._last_used[page] = self._clock
+
+    def install(self, page: int, data: np.ndarray | None = None) -> np.ndarray:
+        """Place ``page`` into a frame (caller must have ensured room).
+
+        ``data`` is copied into the frame; None zero-fills.  Returns the
+        frame array.
+        """
+        if self.full and page not in self._frames:
+            raise FramePressure(f"no free frame for page {page}")
+        frame = self._frames.get(page)
+        if frame is None:
+            frame = np.zeros(self.page_size, dtype=np.uint8)
+            self._frames[page] = frame
+        if data is not None:
+            if len(data) != self.page_size:
+                raise ValueError(
+                    f"page data is {len(data)} bytes, expected {self.page_size}"
+                )
+            frame[:] = data
+        self.touch(page)
+        return frame
+
+    def drop(self, page: int) -> None:
+        """Release the frame of ``page`` (must be unpinned)."""
+        if self._pins.get(page, 0):
+            raise RuntimeError(f"dropping pinned page {page}")
+        self._frames.pop(page, None)
+        self._last_used.pop(page, None)
+
+    # ------------------------------------------------------------------
+    # pinning
+
+    def pin(self, page: int) -> None:
+        self._pins[page] = self._pins.get(page, 0) + 1
+
+    def unpin(self, page: int) -> None:
+        count = self._pins.get(page, 0)
+        if count <= 0:
+            raise RuntimeError(f"unpin of unpinned page {page}")
+        if count == 1:
+            del self._pins[page]
+        else:
+            self._pins[page] = count - 1
+
+    def pinned(self, page: int) -> bool:
+        return self._pins.get(page, 0) > 0
+
+    # ------------------------------------------------------------------
+
+    def lru_victim(self, skip: set[int] | None = None) -> int:
+        """Pick an eviction victim per the configured replacement policy
+        (strict LRU, or the random choice Aegis's sampled-use-bit clock
+        degenerates to under cyclic sweeps).  Pinned and ``skip``-ped
+        pages are never chosen; raises :class:`FramePressure` when no
+        candidate exists."""
+        if self.replacement == "random" and self._rng is not None:
+            candidates = [
+                page
+                for page in self._frames
+                if not self._pins.get(page, 0)
+                and (skip is None or page not in skip)
+            ]
+            if not candidates:
+                raise FramePressure("all resident pages are pinned")
+            candidates.sort()  # determinism: dict order is insertion order
+            return int(candidates[self._rng.integers(len(candidates))])
+        best_page = -1
+        best_stamp = None
+        for page in self._frames:
+            if self._pins.get(page, 0):
+                continue
+            if skip is not None and page in skip:
+                continue
+            stamp = self._last_used.get(page, 0)
+            if best_stamp is None or stamp < best_stamp:
+                best_stamp = stamp
+                best_page = page
+        if best_stamp is None:
+            raise FramePressure("all resident pages are pinned")
+        return best_page

@@ -1,0 +1,112 @@
+"""Memory-management-unit mechanism: access modes, address arithmetic.
+
+IVY divides each user address space into a private low portion and a
+shared high portion; coherence is maintained at page granularity using
+the MMU's protection bits (NIL / READ / WRITE).  :class:`AddressLayout`
+does the address/page arithmetic for the shared portion; :class:`Access`
+is the protection lattice; :class:`PageFault` is the trap the SVM layer
+services.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Access", "AddressLayout", "PageFault"]
+
+
+class Access(enum.IntEnum):
+    """Page protection modes, ordered so comparisons express privilege."""
+
+    NIL = 0
+    READ = 1
+    WRITE = 2
+
+    def permits_read(self) -> bool:
+        return self >= Access.READ
+
+    def permits_write(self) -> bool:
+        return self >= Access.WRITE
+
+
+@dataclass(frozen=True)
+class PageFault(Exception):
+    """An access violated the current protection of a page.
+
+    Raised (as a value, not thrown, on hot paths) by the shared address
+    space to enter the coherence fault handler.
+    """
+
+    page: int
+    write: bool
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        kind = "write" if self.write else "read"
+        return f"{kind} fault on page {self.page}"
+
+
+class AddressLayout:
+    """Address arithmetic for the shared portion of the address space."""
+
+    def __init__(self, base: int, size: int, page_size: int) -> None:
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError(f"page size {page_size} must be a power of two")
+        if size % page_size:
+            raise ValueError("shared size must be a whole number of pages")
+        self.base = base
+        self.size = size
+        self.page_size = page_size
+        self.npages = size // page_size
+        self._shift = page_size.bit_length() - 1
+
+    def contains(self, addr: int, nbytes: int = 1) -> bool:
+        return self.base <= addr and addr + nbytes <= self.base + self.size
+
+    def check(self, addr: int, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative length {nbytes}")
+        if not self.contains(addr, max(nbytes, 1)):
+            raise ValueError(
+                f"address range [{addr:#x}, {addr + nbytes:#x}) outside shared space "
+                f"[{self.base:#x}, {self.base + self.size:#x})"
+            )
+
+    def page_of(self, addr: int) -> int:
+        """Page number (0-based within the shared space) containing addr."""
+        self.check(addr, 1)
+        return (addr - self.base) >> self._shift
+
+    def page_base(self, page: int) -> int:
+        """Virtual address of the first byte of ``page``."""
+        if not 0 <= page < self.npages:
+            raise ValueError(f"page {page} out of range")
+        return self.base + (page << self._shift)
+
+    def offset_in_page(self, addr: int) -> int:
+        return (addr - self.base) & (self.page_size - 1)
+
+    def pages_spanned(self, addr: int, nbytes: int) -> range:
+        """Pages touched by the byte range [addr, addr+nbytes)."""
+        self.check(addr, nbytes)
+        if nbytes == 0:
+            return range(0, 0)
+        first = (addr - self.base) >> self._shift
+        last = (addr + nbytes - 1 - self.base) >> self._shift
+        return range(first, last + 1)
+
+    def spans(self, addr: int, nbytes: int) -> Iterator[tuple[int, int, int, int]]:
+        """Split [addr, addr+nbytes) into per-page pieces.
+
+        Yields ``(page, offset_in_page, offset_in_buffer, length)``.
+        """
+        self.check(addr, nbytes)
+        done = 0
+        while done < nbytes:
+            cur = addr + done
+            page = (cur - self.base) >> self._shift
+            offset = (cur - self.base) & (self.page_size - 1)
+            length = min(self.page_size - offset, nbytes - done)
+            yield page, offset, done, length
+            done += length

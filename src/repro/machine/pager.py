@@ -1,0 +1,111 @@
+"""Aegis-style demand pager: bounded frames, approximate LRU, disk backing.
+
+The pager sits between the SVM layer and the raw frame pool.  When a
+frame is needed and the pool is full, it picks the LRU unpinned victim
+and asks the injected *eviction policy* (owned by the SVM layer, which
+knows ownership) what to do:
+
+- a read-only copy is silently dropped — the true owner still has the
+  data, and a later invalidation to a non-holder is harmless;
+- an owned page is written to the local paging disk first, exactly the
+  traffic Table 1 counts.
+
+This reproduces the paper's account of the super-linear speedup: on one
+processor the data set does not fit and every iteration thrashes the
+disk; on two processors the SVM spreads pages across memories and the
+disk traffic decays.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+import numpy as np
+
+from repro.machine.disk import Disk
+from repro.machine.memory import FramePressure, PhysicalMemory
+from repro.metrics.collect import Counters
+from repro.sim.process import Effect, Sleep
+
+__all__ = ["Pager"]
+
+#: Eviction policy: generator ``(page) -> bool`` doing protocol work
+#: (e.g. writing an owned page to disk) before the frame is dropped.
+#: Returns False to *veto* the victim (its page-table entry is locked by
+#: an in-flight coherence operation); the pager then tries the next-LRU
+#: candidate.  The veto is how lock-ordering deadlocks between faults and
+#: evictions are avoided: eviction never waits for a page lock.
+EvictionPolicy = Callable[[int], Generator[Effect, Any, bool]]
+
+
+class Pager:
+    """Frame acquisition with LRU eviction to the local disk."""
+
+    def __init__(self, memory: PhysicalMemory, disk: Disk, counters: Counters) -> None:
+        self.memory = memory
+        self.disk = disk
+        self.counters = counters
+        self._evict: EvictionPolicy | None = None
+
+    def set_eviction_policy(self, policy: EvictionPolicy) -> None:
+        self._evict = policy
+
+    # ------------------------------------------------------------------
+
+    def ensure_frame(self, page: int) -> Generator[Effect, Any, None]:
+        """Make room so ``install`` of ``page`` cannot fail.
+
+        May run the eviction policy (disk writes, protocol updates) and
+        therefore may consume simulated time.
+        """
+        vetoed: set[int] = set()
+        stalls = 0
+        while self.memory.full and page not in self.memory:
+            try:
+                victim = self.memory.lru_victim(vetoed)
+            except FramePressure:
+                # Every candidate is pinned or lock-vetoed.  Vetoes are
+                # transient: an operation that holds a resident page's
+                # lock completes without acquiring further frames (a
+                # lock-holder that *does* need a frame holds it for a
+                # non-resident page, which is not a veto candidate).  So
+                # wait for a lock to clear and rescan.  The stall bound
+                # turns a genuine deadlock into a loud failure.
+                stalls += 1
+                if stalls > 100_000:
+                    raise
+                vetoed.clear()
+                yield Sleep(100_000)  # 100 us backoff
+                continue
+            if self._evict is None:
+                raise RuntimeError("pager has no eviction policy")
+            freed = yield from self._evict(victim)
+            if not freed:
+                vetoed.add(victim)
+                continue
+            self.counters.inc("evictions")
+            if victim in self.memory:
+                raise RuntimeError(
+                    f"eviction policy failed to release frame of page {victim}"
+                )
+        return
+
+    def install(
+        self, page: int, data: np.ndarray | None = None
+    ) -> Generator[Effect, Any, np.ndarray]:
+        """Evict as needed, then place ``page`` (optionally with bytes)."""
+        yield from self.ensure_frame(page)
+        return self.memory.install(page, data)
+
+    def page_out(self, page: int) -> Generator[Effect, Any, None]:
+        """Write ``page``'s frame to disk and drop the frame."""
+        data = self.memory.data(page)
+        yield from self.disk.write_page(page, data)
+        self.memory.drop(page)
+
+    def page_in(self, page: int) -> Generator[Effect, Any, np.ndarray]:
+        """Read ``page`` from disk into a frame (evicting as needed)."""
+        data = yield from self.disk.read_page(page)
+        frame = yield from self.install(page, data)
+        self.disk.discard(page)
+        return frame

@@ -1,0 +1,9 @@
+"""Measurement infrastructure: counters, epochs, speedup harness, reports.
+
+`repro.metrics.speedup` and `repro.metrics.report` are imported lazily by
+their users to keep this package import-light for the machine substrate.
+"""
+
+from repro.metrics.collect import Counters, EpochLog
+
+__all__ = ["Counters", "EpochLog"]

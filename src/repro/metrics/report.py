@@ -1,0 +1,52 @@
+"""ASCII report formatting for the experiment scripts.
+
+Every ``repro.exps.*`` module prints its table/series through these
+helpers so the output format matches across experiments (and can be
+asserted on in tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.metrics.speedup import SpeedupResult
+
+__all__ = ["ascii_table", "format_speedup_table", "format_series"]
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Render a fixed-width table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(cells[0]))
+    out.append(sep)
+    out.extend(line(row) for row in cells[1:])
+    return "\n".join(out)
+
+
+def format_speedup_table(results: Sequence[SpeedupResult]) -> str:
+    """One row per app, one column per processor count."""
+    procs = results[0].procs
+    headers = ["program"] + [f"p={p}" for p in procs]
+    rows = []
+    for res in results:
+        rows.append(
+            [res.app_name] + [f"{res.speedup(p):.2f}" for p in procs]
+        )
+    return ascii_table(headers, rows, title="Speedup = T(1) / T(p), simulated time")
+
+
+def format_series(
+    title: str, labels: Sequence[Any], values: Sequence[Any], label_hdr: str, value_hdr: str
+) -> str:
+    return ascii_table([label_hdr, value_hdr], list(zip(labels, values)), title=title)

@@ -1,0 +1,102 @@
+"""Speedup measurement harness — the paper's methodology.
+
+"The speedup of a program is the ratio of the execution time of the
+program on a single processor to that on the shared virtual memory
+system. ... all the programs in the experiments partition their
+problems by creating a certain number of processes according to the
+number of processors used."
+
+Accordingly, ``measure_speedups`` runs the *same workload* once per
+processor count p (a fresh p-node cluster, p worker processes), checks
+every run's numerical output against the sequential golden, and reports
+``T(1) / T(p)`` in simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.api.ivy import Ivy
+from repro.apps.common import AppProtocol
+from repro.config import ClusterConfig
+from repro.metrics.collect import Counters
+
+__all__ = ["RunResult", "SpeedupResult", "run_app", "measure_speedups"]
+
+
+@dataclass
+class RunResult:
+    """One program execution on one cluster size."""
+
+    nprocs: int
+    time_ns: int
+    counters: Counters
+    ring_stats: dict[str, int]
+    result: Any = None
+
+
+@dataclass
+class SpeedupResult:
+    """A full speedup curve for one application."""
+
+    app_name: str
+    runs: list[RunResult] = field(default_factory=list)
+
+    @property
+    def procs(self) -> list[int]:
+        return [r.nprocs for r in self.runs]
+
+    @property
+    def base_time(self) -> int:
+        for run in self.runs:
+            if run.nprocs == 1:
+                return run.time_ns
+        raise ValueError("no single-processor run recorded")
+
+    def speedup(self, nprocs: int) -> float:
+        base = self.base_time
+        for run in self.runs:
+            if run.nprocs == nprocs:
+                return base / run.time_ns
+        raise KeyError(f"no run with {nprocs} processors")
+
+    def curve(self) -> list[tuple[int, float]]:
+        return [(r.nprocs, self.speedup(r.nprocs)) for r in self.runs]
+
+
+def run_app(
+    app_factory: Callable[[int], AppProtocol],
+    nprocs: int,
+    config: ClusterConfig | None = None,
+    check: bool = True,
+) -> RunResult:
+    """Run one app instance on a fresh ``nprocs``-node cluster."""
+    base = config or ClusterConfig()
+    cluster_config = base.replace(nodes=nprocs)
+    app = app_factory(nprocs)
+    ivy = Ivy(cluster_config)
+    result = ivy.run(app.main)
+    if check:
+        app.check(result)
+    return RunResult(
+        nprocs=nprocs,
+        time_ns=ivy.time_ns,
+        counters=ivy.cluster.total_counters(),
+        ring_stats=ivy.cluster.ring.stats.snapshot(),
+        result=result,
+    )
+
+
+def measure_speedups(
+    app_factory: Callable[[int], AppProtocol],
+    procs: Sequence[int] = (1, 2, 4, 8),
+    config: ClusterConfig | None = None,
+    check: bool = True,
+) -> SpeedupResult:
+    """The paper's experiment: T(1)/T(p) over processor counts."""
+    name = app_factory(1).name
+    out = SpeedupResult(app_name=name)
+    for p in procs:
+        out.runs.append(run_app(app_factory, p, config=config, check=check))
+    return out

@@ -1,0 +1,24 @@
+"""Message-passing baseline: the model the paper argues against.
+
+A classic port/mailbox system over the same ring, with an explicit
+marshaling cost model.  This substrate exists so the repository can
+*measure* the paper's motivating claims rather than assert them:
+
+- passing complex (pointer-rich) data structures requires packing and
+  unpacking, charged per element (`repro.msgpass.marshal`);
+- data movement is explicit: the programmer ships bytes to named ports
+  (`repro.msgpass.channel`), versus the SVM's fault-driven migration.
+
+The message-passing versus shared-memory ablation benchmark
+(`repro.exps.ablation_msgpass`) runs the same workloads on both.
+"""
+
+from repro.msgpass.channel import MessagePassing
+from repro.msgpass.marshal import marshal_cost, unmarshal_cost, LINKED_NODE_OVERHEAD_OPS
+
+__all__ = [
+    "MessagePassing",
+    "marshal_cost",
+    "unmarshal_cost",
+    "LINKED_NODE_OVERHEAD_OPS",
+]

@@ -1,0 +1,50 @@
+"""Marshaling cost model for message passing.
+
+"Passing a list data structure by sending messages will introduce
+considerable complexity in programming and substantial overhead in both
+space and time" [14]; "in a remote procedure call, there is no good way
+to pass a pointer argument" [24].
+
+The model below charges the costs a late-1980s Pascal marshaller would
+pay: a per-byte copy into the wire buffer, plus a per-element overhead
+for every pointer-linked node that must be chased, type-tagged and
+relocated (and symmetrically reconstructed on the receiving side —
+fresh allocation plus pointer fix-up, which is why unmarshalling is
+costlier).
+"""
+
+from __future__ import annotations
+
+from repro.config import CpuConfig
+
+__all__ = ["marshal_cost", "unmarshal_cost", "LINKED_NODE_OVERHEAD_OPS", "wire_size"]
+
+#: Simple operations spent per pointer-linked element when packing
+#: (chase pointer, tag, copy header) — and 1.5x that when unpacking
+#: (allocate, fix up pointers).
+LINKED_NODE_OVERHEAD_OPS = 40
+
+#: Wire framing per linked element (type tag + relocated pointer).
+PER_ELEMENT_WIRE_BYTES = 8
+
+
+def wire_size(payload_bytes: int, elements: int = 0) -> int:
+    """Bytes on the wire for a structure of ``payload_bytes`` spread over
+    ``elements`` pointer-linked nodes."""
+    return payload_bytes + elements * PER_ELEMENT_WIRE_BYTES
+
+
+def marshal_cost(cpu: CpuConfig, payload_bytes: int, elements: int = 0) -> int:
+    """CPU nanoseconds to pack a structure for the wire."""
+    return (
+        payload_bytes * cpu.ns_per_byte_copy
+        + elements * LINKED_NODE_OVERHEAD_OPS * cpu.ns_per_op
+    )
+
+
+def unmarshal_cost(cpu: CpuConfig, payload_bytes: int, elements: int = 0) -> int:
+    """CPU nanoseconds to unpack on arrival (allocation + fix-up)."""
+    return (
+        payload_bytes * cpu.ns_per_byte_copy
+        + (elements * LINKED_NODE_OVERHEAD_OPS * 3 // 2) * cpu.ns_per_op
+    )

@@ -1,0 +1,24 @@
+"""Network substrate: the Apollo Domain token ring and IVY's remote-operation layer.
+
+Layering (bottom-up), mirroring the prototype:
+
+- `repro.net.ring` — the 12 Mbit/s shared-medium token ring: transmissions
+  from all nodes serialise, broadcasts are a single transmission heard by
+  every other station, frames can be lost.
+- `repro.net.transport` — reliable request/reply with the paper's
+  "resend replies only when necessary" retransmission philosophy:
+  duplicate requests are answered from a reply cache, execution is
+  at-most-once, and every message piggybacks the sender's load hint.
+- `repro.net.remoteop` — IVY's remote operation module: registered
+  operation handlers, the *forwarding* mechanism (a request hops
+  processor-to-processor and only the final executor replies to the
+  origin — essential for the dynamic distributed manager), and
+  broadcast with the paper's three reply schemes (any / all / none).
+"""
+
+from repro.net.packet import BROADCAST, Message
+from repro.net.ring import TokenRing
+from repro.net.transport import Transport
+from repro.net.remoteop import Forward, RemoteOp
+
+__all__ = ["BROADCAST", "Message", "TokenRing", "Transport", "RemoteOp", "Forward"]

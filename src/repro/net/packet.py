@@ -1,0 +1,67 @@
+"""Wire message representation and size accounting.
+
+The payload rides as a Python object (the data plane stays functionally
+real), while ``nbytes`` is the simulated wire size used for ring
+occupancy.  Callers are responsible for declaring honest sizes; helpers
+below compute them for the common cases.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["BROADCAST", "HEADER_BYTES", "Message", "request_size", "reply_size"]
+
+#: Destination id meaning "every other station on the ring".
+BROADCAST = -1
+
+#: Ring frame header + transport header, charged per message.
+HEADER_BYTES = 32
+
+_serial = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """One transport-level message (request, reply, or broadcast)."""
+
+    src: int
+    dst: int
+    kind: str  # "req" | "rep" | "bcast"
+    op: str
+    origin: int  # requesting processor (survives forwarding)
+    msg_id: int  # origin's sequence number (dedup key with origin)
+    payload: Any
+    nbytes: int
+    #: Piggybacked scheduling hint: sender's current process count
+    #: ("a byte ... packed into every message at almost no extra cost").
+    load_hint: int = 0
+    #: Reply scheme for broadcasts: "any" | "all" | "none".
+    reply_scheme: str = "all"
+    #: Multicast filter: when set on a broadcast frame, only these
+    #: stations process the message (others hear it and discard it,
+    #: as ring hardware multicast filtering does).
+    targets: tuple[int, ...] | None = None
+    serial: int = field(default_factory=lambda: next(_serial))
+
+    def __post_init__(self) -> None:
+        if self.nbytes < HEADER_BYTES:
+            self.nbytes = HEADER_BYTES
+
+    def describe(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{self.kind}:{self.op} {self.src}->{self.dst} "
+            f"origin={self.origin} id={self.msg_id} {self.nbytes}B"
+        )
+
+
+def request_size(arg_bytes: int = 0) -> int:
+    """Wire size of a request carrying ``arg_bytes`` of arguments."""
+    return HEADER_BYTES + arg_bytes
+
+
+def reply_size(value_bytes: int = 0) -> int:
+    """Wire size of a reply carrying ``value_bytes`` of results."""
+    return HEADER_BYTES + value_bytes

@@ -1,0 +1,179 @@
+"""IVY's remote-operation module (the "simple RPC" of the paper).
+
+Each node registers named operation handlers.  A handler is a generator
+``handler(origin, payload)`` that runs as its own interrupt-level task on
+the serving node, may itself perform requests, and finishes in one of
+three ways:
+
+- return a plain value      → reply to the origin (default size),
+- return :class:`Reply`     → reply with an explicit wire size,
+- return :class:`Forward`   → pass the request on to another processor
+  (no intermediate reply; the final executor answers the origin).
+
+Handlers run concurrently, serialised only by protocol-level locks (page
+locks etc.).  This models interrupt-level fault servicing: request
+handling delays the *reply*, not whichever application process happens to
+be running — see DESIGN.md, "key design decisions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.config import ClusterConfig
+from repro.net.packet import HEADER_BYTES, Message
+from repro.net.transport import Transport
+from repro.sim.process import Compute, Effect, SimDriver
+from repro.sim.trace import NULL_TRACE, TraceRecorder
+
+__all__ = ["RemoteOp", "Reply", "Forward", "NO_REPLY"]
+
+
+@dataclass
+class Reply:
+    """Handler result carrying an explicit reply wire size."""
+
+    value: Any
+    nbytes: int = HEADER_BYTES
+
+
+@dataclass
+class Forward:
+    """Handler result: forward the request to ``dst``.
+
+    ``payload``/``nbytes`` override the forwarded request's argument
+    payload when given (e.g. to accumulate hop counts).
+    """
+
+    dst: int
+    payload: Any = None
+    nbytes: int | None = None
+
+
+class _NoReply:
+    """Handler result: stay silent (legal only for broadcast requests —
+    e.g. a non-owner hearing a broadcast page-fault location request)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "NO_REPLY"
+
+
+NO_REPLY = _NoReply()
+
+
+class RemoteOp:
+    """Named-operation dispatch on top of the reliable transport."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        driver: SimDriver,
+        config: ClusterConfig,
+        trace: TraceRecorder = NULL_TRACE,
+    ) -> None:
+        self.transport = transport
+        self.driver = driver
+        self.config = config
+        self.trace = trace
+        self.node_id = transport.node_id
+        self._handlers: dict[str, Callable[[int, Any], Generator]] = {}
+        self._local_probes: dict[str, Callable[[Any], bool]] = {}
+        transport.set_request_handler(self._dispatch)
+        transport.duplicate_probe = self._probe
+
+    # ------------------------------------------------------------------
+
+    def register(self, op: str, handler: Callable[[int, Any], Generator]) -> None:
+        """Register the generator handler for operation ``op``."""
+        if op in self._handlers:
+            raise ValueError(f"operation {op!r} already registered on node {self.node_id}")
+        self._handlers[op] = handler
+
+    def register_local_probe(self, op: str, probe: Callable[[Any], bool]) -> None:
+        """Register a lock-free predicate ``probe(payload)`` answering
+        "would this node execute ``op`` locally right now (rather than
+        forward it)?" — consulted by the transport on duplicates of
+        forwarded requests (see `Transport.duplicate_probe`)."""
+        self._local_probes[op] = probe
+
+    def _probe(self, msg: Message) -> bool:
+        probe = self._local_probes.get(msg.op)
+        return bool(probe(msg.payload)) if probe is not None else False
+
+    def request(
+        self, dst: int, op: str, payload: Any = None, nbytes: int = HEADER_BYTES
+    ) -> Generator[Effect, Any, Any]:
+        """Perform a remote operation and return its reply value."""
+        if self.trace:
+            self.trace.emit("remoteop.request", src=self.node_id, dst=dst, op=op)
+        value = yield from self.transport.request(dst, op, payload, nbytes)
+        return value
+
+    def broadcast(
+        self,
+        op: str,
+        payload: Any = None,
+        nbytes: int = HEADER_BYTES,
+        scheme: str = "all",
+    ) -> Generator[Effect, Any, Any]:
+        """Broadcast ``op``; reply handling per the paper's three schemes."""
+        if self.trace:
+            self.trace.emit(
+                "remoteop.broadcast", src=self.node_id, op=op, scheme=scheme
+            )
+        value = yield from self.transport.broadcast(op, payload, nbytes, scheme)
+        return value
+
+    def multicast(
+        self,
+        targets: tuple[int, ...],
+        op: str,
+        payload: Any = None,
+        nbytes: int = HEADER_BYTES,
+    ) -> Generator[Effect, Any, dict[int, Any]]:
+        """Multicast ``op`` to ``targets``; one reply per target."""
+        if self.trace:
+            self.trace.emit(
+                "remoteop.multicast", src=self.node_id, op=op, targets=tuple(targets)
+            )
+        value = yield from self.transport.multicast(targets, op, payload, nbytes)
+        return value
+
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, msg: Message) -> None:
+        self.driver.spawn(
+            self._serve(msg), f"serve-{self.node_id}-{msg.op}-{msg.origin}.{msg.msg_id}"
+        )
+
+    def _serve(self, msg: Message) -> Generator[Effect, Any, None]:
+        handler = self._handlers.get(msg.op)
+        if handler is None:
+            raise RuntimeError(f"node {self.node_id}: no handler for {msg.op!r}")
+        yield Compute(self.config.server_dispatch_cost)
+        result = yield from handler(msg.origin, msg.payload)
+        if isinstance(result, Forward):
+            if self.trace:
+                self.trace.emit(
+                    "remoteop.forward", node=self.node_id, dst=result.dst, op=msg.op,
+                    origin=msg.origin,
+                )
+            yield from self.transport.forward(result.dst, msg, result.payload, result.nbytes)
+        elif result is NO_REPLY:
+            if msg.kind != "bcast":
+                raise RuntimeError(
+                    f"handler for {msg.op!r} returned NO_REPLY to a unicast request"
+                )
+            # Silence has no side effects: let duplicates re-execute, so a
+            # retransmitted location broadcast can find an owner that was
+            # mid-handoff the first time.
+            self.transport.clear_request(msg)
+        elif msg.kind == "bcast" and msg.reply_scheme == "none":
+            self.transport.mark_no_reply(msg)
+        elif isinstance(result, Reply):
+            yield from self.transport.send_reply(msg, result.value, result.nbytes)
+        else:
+            yield from self.transport.send_reply(msg, result)

@@ -1,0 +1,135 @@
+"""The Apollo Domain 12 Mbit/s baseband single token ring.
+
+The ring is modelled as what it physically is: a **shared medium**.  Only
+one station transmits at a time, so every message occupies the medium for
+``n_fragments * frame_overhead + payload_bits / bandwidth`` and
+transmissions queue FIFO behind each other.  This global serialisation is
+the honest source of communication contention in the experiments — it is
+why the dot-product benchmark (lots of data movement, little compute)
+scales poorly while Jacobi scales almost linearly.
+
+Broadcast is native on a ring: a single transmission is heard by every
+other station (the paper exploits this for owner location and
+invalidation).  Frame loss is drawn per *receiver*, which exercises the
+transport's retransmission protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.config import RingConfig
+from repro.net.packet import BROADCAST, Message
+from repro.sim.kernel import Simulator
+from repro.sim.trace import NULL_TRACE, TraceRecorder
+
+__all__ = ["TokenRing", "RingStats"]
+
+
+class RingStats:
+    """Aggregate medium statistics."""
+
+    __slots__ = ("messages", "broadcasts", "bytes_sent", "busy_ns", "lost_frames")
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.broadcasts = 0
+        self.bytes_sent = 0
+        self.busy_ns = 0
+        self.lost_frames = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class TokenRing:
+    """A serialised shared-medium network connecting ``nnodes`` stations."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: RingConfig,
+        nnodes: int,
+        rng: np.random.Generator | None = None,
+        trace: TraceRecorder = NULL_TRACE,
+    ) -> None:
+        if nnodes < 1:
+            raise ValueError("ring needs at least one station")
+        self.sim = sim
+        self.config = config
+        self.nnodes = nnodes
+        self.rng = rng
+        self.trace = trace
+        self.stats = RingStats()
+        self._receivers: dict[int, Callable[[Message], None]] = {}
+        self._free_at = 0  # medium is idle from this time onward
+
+    # ------------------------------------------------------------------
+
+    def attach(self, node_id: int, receiver: Callable[[Message], None]) -> None:
+        """Register the delivery callback for a station."""
+        if not 0 <= node_id < self.nnodes:
+            raise ValueError(f"station {node_id} out of range")
+        if node_id in self._receivers:
+            raise ValueError(f"station {node_id} already attached")
+        self._receivers[node_id] = receiver
+
+    def occupancy_ns(self, nbytes: int) -> int:
+        """Medium time consumed by one message of ``nbytes``."""
+        cfg = self.config
+        fragments = max(1, -(-nbytes // cfg.max_frame_bytes))  # ceil div
+        wire = (nbytes * 8 * 1_000_000_000) // cfg.bandwidth_bps
+        return fragments * cfg.frame_overhead + wire
+
+    # ------------------------------------------------------------------
+
+    def send(self, msg: Message) -> None:
+        """Queue ``msg`` for transmission; delivery is scheduled events.
+
+        Returns immediately (the sending *software* cost is charged by the
+        transport layer, not here — the medium only models wire time).
+        """
+        if msg.dst != BROADCAST and not 0 <= msg.dst < self.nnodes:
+            raise ValueError(f"destination {msg.dst} out of range")
+        if msg.dst == msg.src:
+            raise ValueError("a station does not ring-transmit to itself")
+        now = self.sim.now
+        start = max(now, self._free_at)
+        occupancy = self.occupancy_ns(msg.nbytes)
+        self._free_at = start + occupancy
+        arrival = self._free_at + self.config.delivery_latency
+
+        self.stats.messages += 1
+        self.stats.bytes_sent += msg.nbytes
+        self.stats.busy_ns += occupancy
+        if msg.dst == BROADCAST:
+            self.stats.broadcasts += 1
+            targets = [n for n in range(self.nnodes) if n != msg.src]
+        else:
+            targets = [msg.dst]
+        if self.trace:
+            self.trace.emit(
+                "ring.send", src=msg.src, dst=msg.dst, op=msg.op,
+                kind=msg.kind, nbytes=msg.nbytes, arrival=arrival,
+            )
+        for target in targets:
+            if self._drop():
+                self.stats.lost_frames += 1
+                if self.trace:
+                    self.trace.emit("ring.drop", src=msg.src, dst=target, op=msg.op)
+                continue
+            self.sim.schedule_at(arrival, self._deliver, target, msg)
+
+    def _drop(self) -> bool:
+        loss = self.config.loss_rate
+        if loss <= 0.0 or self.rng is None:
+            return False
+        return bool(self.rng.random() < loss)
+
+    def _deliver(self, target: int, msg: Message) -> None:
+        receiver = self._receivers.get(target)
+        if receiver is None:
+            raise RuntimeError(f"no receiver attached at station {target}")
+        receiver(msg)

@@ -1,0 +1,398 @@
+"""Reliable request/reply transport over the token ring.
+
+Implements the paper's retransmission philosophy: *resend replies only
+when necessary*.  A server caches the reply of every executed request;
+when a duplicate request arrives (because the original reply was lost)
+the cached reply is resent without re-executing the operation.  Execution
+is therefore at-most-once, under the paper's two assumptions — local
+computation is always correct, and a received packet's content is
+correct.
+
+The transport also implements the pieces IVY's remote-operation layer
+needs that ordinary RPC lacks:
+
+- **Forwarding**: a request can hop through intermediate processors; only
+  the final executor replies, directly to the origin.  A node that
+  forwarded a request re-forwards duplicates (it may not re-execute,
+  because it never executed), so a loss on any hop is recovered by the
+  origin's retransmission timer.
+- **Broadcast** with three reply schemes: ``"any"`` (first reply wins),
+  ``"all"`` (collect one reply per other station), ``"none"`` (fire and
+  forget).
+- **Load hints**: every outgoing message carries the sender's current
+  process count; receivers feed it to the scheduler's hint table.
+
+Requests made to the local node bypass the ring with a small local
+delivery delay, so protocol code treats all destinations uniformly
+(e.g. when the fixed distributed manager maps a page to the faulting
+processor itself).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.config import MICROSECOND, ClusterConfig
+from repro.net.packet import BROADCAST, HEADER_BYTES, Message
+from repro.net.ring import TokenRing
+from repro.sim.kernel import CancelHandle, Simulator
+from repro.sim.process import Compute, Effect, SimDriver
+from repro.sim.sync import Gate
+from repro.sim.trace import NULL_TRACE, TraceRecorder
+
+__all__ = ["Transport", "TransportError", "TransportStats"]
+
+#: Delivery delay for messages a node sends to itself (no ring involved).
+LOCAL_DELIVERY_NS = 20 * MICROSECOND
+
+
+class TransportError(RuntimeError):
+    """A request exhausted its retransmission budget."""
+
+
+class TransportStats:
+    """Per-node transport counters."""
+
+    __slots__ = (
+        "requests_sent",
+        "replies_sent",
+        "forwards_sent",
+        "broadcasts_sent",
+        "retransmits",
+        "duplicates_dropped",
+        "replies_resent",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class _Pending:
+    """Book-keeping for one outstanding request or broadcast."""
+
+    __slots__ = ("msg", "gate", "timer", "retries", "want", "replies")
+
+    def __init__(self, msg: Message, want: int) -> None:
+        self.msg = msg
+        self.gate = Gate()
+        self.timer: CancelHandle | None = None
+        self.retries = 0
+        #: Number of replies still needed (1 for unicast/any, N-1 for all).
+        self.want = want
+        #: src -> value, for broadcast-all.
+        self.replies: dict[int, Any] = {}
+
+
+# Reply-cache states (dedup table).
+_IN_PROGRESS = ("inprogress",)
+
+
+class Transport:
+    """One reliable transport endpoint per simulated processor."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        driver: SimDriver,
+        ring: TokenRing,
+        node_id: int,
+        config: ClusterConfig,
+        trace: TraceRecorder = NULL_TRACE,
+    ) -> None:
+        self.sim = sim
+        self.driver = driver
+        self.ring = ring
+        self.node_id = node_id
+        self.config = config
+        self.trace = trace
+        self.stats = TransportStats()
+        self._next_id = 0
+        self._pending: dict[int, _Pending] = {}
+        self._reply_cache: dict[tuple[int, int], tuple] = {}
+        #: Upcall into the remote-operation layer for incoming requests.
+        self._request_handler: Callable[[Message], None] | None = None
+        #: Asked on duplicates of *forwarded* requests: "would this node
+        #: execute the operation locally now?"  If yes the stale sticky
+        #: route is discarded and the handler re-runs — breaking the
+        #: routing loop that forms when ownership moves TO a node that
+        #: earlier forwarded the same request elsewhere (its sticky entry
+        #: would otherwise bounce every retransmission away forever).
+        self.duplicate_probe: Callable[[Message], bool] = lambda msg: False
+        #: Provides this node's load byte, piggybacked on every message.
+        self.load_provider: Callable[[], int] = lambda: 0
+        #: Consumes load hints observed on incoming messages.
+        self.hint_sink: Callable[[int, int], None] = lambda src, load: None
+        ring.attach(node_id, self._on_message)
+
+    # ------------------------------------------------------------------
+    # wiring
+
+    def set_request_handler(self, handler: Callable[[Message], None]) -> None:
+        self._request_handler = handler
+
+    # ------------------------------------------------------------------
+    # client side
+
+    def request(
+        self, dst: int, op: str, payload: Any, nbytes: int = HEADER_BYTES
+    ) -> Generator[Effect, Any, Any]:
+        """Send a request and wait for the (possibly forwarded) reply.
+
+        Runs in the caller's task; the caller's CPU is busy for the
+        software send cost, then released until the reply arrives.
+        """
+        self._next_id += 1
+        msg = Message(
+            src=self.node_id, dst=dst, kind="req", op=op,
+            origin=self.node_id, msg_id=self._next_id,
+            payload=payload, nbytes=nbytes,
+        )
+        pending = _Pending(msg, want=1)
+        self._pending[msg.msg_id] = pending
+        self.stats.requests_sent += 1
+        yield Compute(self.config.transport_cpu)
+        self._transmit(msg)
+        self._arm_timer(pending)
+        value = yield from pending.gate.wait()
+        if isinstance(value, TransportError):
+            raise value
+        return value
+
+    def broadcast(
+        self,
+        op: str,
+        payload: Any,
+        nbytes: int = HEADER_BYTES,
+        scheme: str = "all",
+    ) -> Generator[Effect, Any, Any]:
+        """Broadcast a request to every other station.
+
+        Returns the single winning reply for ``scheme="any"``, a dict
+        ``{station: value}`` for ``"all"``, and ``None`` immediately for
+        ``"none"``.  On a single-node cluster there is nobody to hear the
+        broadcast: "any" would wait forever, so it is rejected.
+        """
+        others = self.ring.nnodes - 1
+        if scheme not in ("any", "all", "none"):
+            raise ValueError(f"unknown reply scheme {scheme!r}")
+        self._next_id += 1
+        msg = Message(
+            src=self.node_id, dst=BROADCAST, kind="bcast", op=op,
+            origin=self.node_id, msg_id=self._next_id,
+            payload=payload, nbytes=nbytes, reply_scheme=scheme,
+        )
+        self.stats.broadcasts_sent += 1
+        yield Compute(self.config.transport_cpu)
+        if others == 0:
+            if scheme == "any":
+                raise TransportError("broadcast 'any' with no other stations")
+            return {} if scheme == "all" else None
+        self._transmit(msg)
+        if scheme == "none":
+            return None
+        pending = _Pending(msg, want=1 if scheme == "any" else others)
+        self._pending[msg.msg_id] = pending
+        self._arm_timer(pending)
+        value = yield from pending.gate.wait()
+        if isinstance(value, TransportError):
+            raise value
+        return value
+
+    def multicast(
+        self,
+        targets: tuple[int, ...],
+        op: str,
+        payload: Any,
+        nbytes: int = HEADER_BYTES,
+    ) -> Generator[Effect, Any, dict[int, Any]]:
+        """One ring transmission processed only by ``targets``; collect a
+        reply from each (the paper's invalidation pattern).
+
+        Returns ``{station: value}``.  An empty target set is a no-op.
+        """
+        targets = tuple(sorted(set(targets)))
+        if self.node_id in targets:
+            raise ValueError("multicast to self is a protocol bug")
+        if not targets:
+            return {}
+        self._next_id += 1
+        msg = Message(
+            src=self.node_id, dst=BROADCAST, kind="bcast", op=op,
+            origin=self.node_id, msg_id=self._next_id,
+            payload=payload, nbytes=nbytes, reply_scheme="all",
+            targets=targets,
+        )
+        pending = _Pending(msg, want=len(targets))
+        self._pending[msg.msg_id] = pending
+        self.stats.broadcasts_sent += 1
+        yield Compute(self.config.transport_cpu)
+        self._transmit(msg)
+        self._arm_timer(pending)
+        value = yield from pending.gate.wait()
+        if isinstance(value, TransportError):
+            raise value
+        return value
+
+    # ------------------------------------------------------------------
+    # server side (called from the remote-operation layer)
+
+    def send_reply(
+        self, msg: Message, value: Any, nbytes: int = HEADER_BYTES
+    ) -> Generator[Effect, Any, None]:
+        """Reply to ``msg``'s origin and cache the reply for duplicates."""
+        self._reply_cache[(msg.origin, msg.msg_id)] = ("done", value, nbytes)
+        self.stats.replies_sent += 1
+        yield Compute(self.config.transport_cpu)
+        self._transmit(
+            Message(
+                src=self.node_id, dst=msg.origin, kind="rep", op=msg.op,
+                origin=msg.origin, msg_id=msg.msg_id,
+                payload=value, nbytes=nbytes,
+            )
+        )
+
+    def forward(
+        self, dst: int, msg: Message, payload: Any = None, nbytes: int | None = None
+    ) -> Generator[Effect, Any, None]:
+        """Forward ``msg`` to ``dst`` keeping origin/msg_id; no local reply.
+
+        The eventual executor replies straight to the origin.  Forwarding
+        is *sticky*: a duplicate of this request (origin retransmission)
+        is re-sent along the same recorded hop rather than re-routed
+        through the handler.  Re-routing would chase ownership hints that
+        were updated by the first pass — including hints that now point
+        back at the (still blocked) origin itself — while the recorded
+        hop provably leads to the executor whose reply cache can answer.
+        """
+        self.stats.forwards_sent += 1
+        forwarded = Message(
+            src=self.node_id, dst=dst, kind="req", op=msg.op,
+            origin=msg.origin, msg_id=msg.msg_id,
+            payload=msg.payload if payload is None else payload,
+            nbytes=msg.nbytes if nbytes is None else nbytes,
+        )
+        self._reply_cache[(msg.origin, msg.msg_id)] = ("forwarded", forwarded)
+        yield Compute(self.config.transport_cpu)
+        self._transmit(forwarded)
+
+    def mark_no_reply(self, msg: Message) -> None:
+        """Record completion of an operation that sends no reply (the
+        ``"none"`` broadcast scheme); duplicates are dropped."""
+        self._reply_cache[(msg.origin, msg.msg_id)] = ("noreply",)
+
+    def clear_request(self, msg: Message) -> None:
+        """Forget a request entirely so a duplicate re-executes.
+
+        Used when a handler answered NO_REPLY to a broadcast location
+        request: staying silent has no side effects, and the state that
+        made it silent (not being the owner) may have changed by the time
+        the origin retransmits — e.g. a broadcast that lands in the
+        window between an old owner relinquishing a page and the new
+        owner installing it gets no reply from *anyone*, and only the
+        retransmission finding the settled owner recovers."""
+        self._reply_cache.pop((msg.origin, msg.msg_id), None)
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _transmit(self, msg: Message) -> None:
+        msg.load_hint = self.load_provider()
+        if msg.dst == self.node_id:
+            self.sim.schedule(LOCAL_DELIVERY_NS, self._on_message, msg)
+        else:
+            self.ring.send(msg)
+
+    def _arm_timer(self, pending: _Pending) -> None:
+        pending.timer = self.sim.schedule(
+            self.config.retransmit_timeout, self._retransmit, pending
+        )
+
+    def _retransmit(self, pending: _Pending) -> None:
+        if pending.gate.posted or pending.msg.msg_id not in self._pending:
+            return
+        pending.retries += 1
+        if pending.retries > self.config.max_retransmits:
+            del self._pending[pending.msg.msg_id]
+            pending.gate.post(
+                TransportError(
+                    f"request {pending.msg.op} from {self.node_id} to "
+                    f"{pending.msg.dst} gave up after {pending.retries - 1} retransmits"
+                )
+            )
+            return
+        self.stats.retransmits += 1
+        if self.trace:
+            self.trace.emit(
+                "transport.retransmit", node=self.node_id,
+                op=pending.msg.op, msg_id=pending.msg.msg_id,
+            )
+        self._transmit(pending.msg)
+        self._arm_timer(pending)
+
+    def _on_message(self, msg: Message) -> None:
+        self.hint_sink(msg.src, msg.load_hint)
+        if msg.targets is not None and self.node_id not in msg.targets:
+            return  # multicast frame filtered out by the ring interface
+        if msg.kind == "rep":
+            self._on_reply(msg)
+        else:
+            self._on_request(msg)
+
+    def _on_reply(self, msg: Message) -> None:
+        pending = self._pending.get(msg.msg_id)
+        if pending is None or pending.gate.posted:
+            return  # stale or duplicate reply — ignore
+        if pending.msg.kind == "bcast" and pending.msg.reply_scheme == "all":
+            if msg.src in pending.replies:
+                return
+            pending.replies[msg.src] = msg.payload
+            if len(pending.replies) < pending.want:
+                return
+            result: Any = dict(pending.replies)
+        else:
+            result = msg.payload
+        del self._pending[msg.msg_id]
+        if pending.timer is not None:
+            pending.timer.cancel()
+        pending.gate.post(result)
+
+    def _on_request(self, msg: Message) -> None:
+        key = (msg.origin, msg.msg_id)
+        cached = self._reply_cache.get(key)
+        if cached is None:
+            self._reply_cache[key] = _IN_PROGRESS
+            if self._request_handler is None:
+                raise RuntimeError(f"node {self.node_id}: no request handler")
+            self._request_handler(msg)
+            return
+        if cached is _IN_PROGRESS:
+            self.stats.duplicates_dropped += 1
+            return
+        if cached[0] == "forwarded":
+            if self.duplicate_probe(msg):
+                # This node can serve the request itself now (e.g. it has
+                # become the page's owner since it forwarded): drop the
+                # stale route and execute.
+                del self._reply_cache[key]
+                self._on_request(msg)
+                return
+            # Sticky re-forward along the recorded hop (see `forward`):
+            # the recorded path provably leads to wherever the request
+            # first executed, whose reply cache can answer — fresh routing
+            # hints may by now point back at the still-blocked origin.
+            self.stats.duplicates_dropped += 1
+            self._transmit(cached[1])
+            return
+        if cached[0] == "noreply":
+            self.stats.duplicates_dropped += 1
+            return
+        _tag, value, nbytes = cached
+        self.stats.replies_resent += 1
+        self.driver.spawn(
+            self.send_reply(msg, value, nbytes),
+            f"resend-reply-{self.node_id}-{msg.msg_id}",
+        )

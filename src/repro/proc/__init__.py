@@ -1,0 +1,23 @@
+"""Process management: lightweight processes, LIFO dispatch, migration,
+and passive load balancing — IVY's process-management module.
+
+Processes are "lightweight" exactly as in the paper: they share the
+node's address space, a context switch costs a few procedure calls, and
+each is described by a PCB whose PID is (processor, PCB address).  The
+per-node dispatcher runs one process at a time from a LIFO ready queue
+with no priorities; when a process blocks (page fault in flight,
+eventcount wait, disk transfer) the dispatcher runs the next ready
+process, which is how IVY overlaps communication with computation.
+
+Migration moves a ready process by sending its PCB, copying the current
+stack page, and transferring ownership (only) of the upper stack pages;
+the stale PCB keeps a forwarding pointer so remote resume operations
+still find the process.
+"""
+
+from repro.proc.pcb import PCB, Pid, ProcState
+from repro.proc.scheduler import NodeScheduler
+from repro.proc.migration import MigrationService
+from repro.proc.loadbalance import LoadBalancer
+
+__all__ = ["PCB", "Pid", "ProcState", "NodeScheduler", "MigrationService", "LoadBalancer"]

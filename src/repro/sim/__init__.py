@@ -1,0 +1,40 @@
+"""Deterministic discrete-event simulation kernel.
+
+This package is the substrate for the whole reproduction: a heap-based
+event queue with an integer-nanosecond clock (`repro.sim.kernel`),
+generator-based lightweight tasks with pluggable drivers
+(`repro.sim.process`), seeded per-component random streams
+(`repro.sim.rng`), and structured tracing (`repro.sim.trace`).
+
+Determinism contract: for a fixed :class:`repro.config.ClusterConfig`
+(including its seed) every run produces bit-identical event orderings,
+statistics, and simulated timings.  Ties in event time are broken by a
+monotonic sequence number, never by hash order or id().
+"""
+
+from repro.sim.kernel import DeadlockError, Simulator
+from repro.sim.process import (
+    Compute,
+    Effect,
+    Sleep,
+    Suspend,
+    Task,
+    TaskFailure,
+    YieldCpu,
+)
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceRecorder
+
+__all__ = [
+    "Simulator",
+    "DeadlockError",
+    "Task",
+    "TaskFailure",
+    "Effect",
+    "Compute",
+    "Sleep",
+    "Suspend",
+    "YieldCpu",
+    "RngStreams",
+    "TraceRecorder",
+]

@@ -1,0 +1,68 @@
+"""Structured event tracing.
+
+A :class:`TraceRecorder` collects ``(time, category, fields)`` records.
+Tracing is off by default (a no-op recorder) so the hot paths only pay a
+truthiness check.  Tests use traces to assert protocol-level properties
+("the manager forwarded exactly one request", "no invalidation was sent
+to a non-copy-holder") that aggregate counters cannot express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+__all__ = ["TraceEvent", "TraceRecorder", "NULL_TRACE"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: int
+    category: str
+    fields: dict[str, Any]
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+class TraceRecorder:
+    """Collects trace events, optionally filtered by category."""
+
+    def __init__(self, categories: set[str] | None = None, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.categories = categories
+        self.events: list[TraceEvent] = []
+        self._clock: Callable[[], int] = lambda: 0
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        """Attach the simulator clock; called by the cluster at boot."""
+        self._clock = clock
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    def emit(self, category: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.events.append(TraceEvent(self._clock(), category, fields))
+
+    def select(self, category: str, **match: Any) -> list[TraceEvent]:
+        """Events of ``category`` whose fields match all of ``match``."""
+        return [
+            ev
+            for ev in self.events
+            if ev.category == category
+            and all(ev.fields.get(k) == v for k, v in match.items())
+        ]
+
+    def count(self, category: str, **match: Any) -> int:
+        return len(self.select(category, **match))
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+
+#: Shared disabled recorder — the default for non-test runs.
+NULL_TRACE = TraceRecorder(enabled=False)

@@ -1,0 +1,212 @@
+"""The client-visible shared virtual memory: typed block reads/writes.
+
+Application processes never see pages; they read and write byte ranges
+and typed arrays at virtual addresses, exactly as IVY programs
+dereference Pascal pointers into the shared portion of their address
+space.  Each operation:
+
+1. checks protection per touched page (the MMU fast path),
+2. enters the coherence protocol on a violation (the page fault), and
+3. moves the payload with vectorised numpy copies against the frame
+   contents — the data plane is real bytes, so protocol bugs surface as
+   wrong answers in the numeric golden tests.
+
+Costs: faults charge their own time inside the protocol; the local copy
+charges ``ns_per_byte_copy`` per byte (the memcpy the program would
+execute).  Arithmetic is charged separately by applications as flops,
+so there is no double counting.
+
+All generators here must be driven with ``yield from`` inside a
+simulated process.  Scalar helpers exist for the common cases; prefer
+the array forms — block-granular access is both how real programs touch
+memory and what keeps the simulation fast (guide rule: vectorise).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.config import CpuConfig
+from repro.machine.mmu import AddressLayout
+from repro.metrics.collect import Counters
+from repro.sim.process import Compute, Effect
+from repro.svm.protocol import CoherenceProtocol
+
+__all__ = ["SharedAddressSpace"]
+
+
+class SharedAddressSpace:
+    """One node's window onto the single shared address space."""
+
+    def __init__(
+        self,
+        protocol: CoherenceProtocol,
+        layout: AddressLayout,
+        cpu: CpuConfig,
+        counters: Counters,
+    ) -> None:
+        self.protocol = protocol
+        self.layout = layout
+        self.cpu = cpu
+        self.counters = counters
+        self._memory = protocol.memory
+
+    # ------------------------------------------------------------------
+    # byte-granular primitives
+
+    def read_bytes(self, addr: int, nbytes: int) -> Generator[Effect, Any, np.ndarray]:
+        """Read ``nbytes`` starting at ``addr``; returns a uint8 array."""
+        out = np.empty(nbytes, dtype=np.uint8)
+        protocol = self.protocol
+        for page, off, boff, length in self.layout.spans(addr, nbytes):
+            if not protocol.has_access(page, write=False):
+                yield from protocol.ensure_read(page)
+            frame = self._memory.data(page)
+            out[boff : boff + length] = frame[off : off + length]
+        self.counters.inc("shared_bytes_read", nbytes)
+        yield Compute(nbytes * self.cpu.ns_per_byte_copy)
+        return out
+
+    def write_bytes(self, addr: int, data: Any) -> Generator[Effect, Any, None]:
+        """Write a buffer (bytes / uint8 array) starting at ``addr``."""
+        buf = np.asarray(
+            np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else data,
+            dtype=np.uint8,
+        ).reshape(-1)
+        nbytes = len(buf)
+        protocol = self.protocol
+        for page, off, boff, length in self.layout.spans(addr, nbytes):
+            if protocol.update_policy:
+                def writer(frame, off=off, boff=boff, length=length):
+                    frame[off : off + length] = buf[boff : boff + length]
+
+                yield from protocol.locked_store(page, writer)
+                continue
+            if not protocol.has_access(page, write=True):
+                yield from protocol.ensure_write(page)
+            frame = self._memory.data(page)
+            frame[off : off + length] = buf[boff : boff + length]
+        self.counters.inc("shared_bytes_written", nbytes)
+        yield Compute(nbytes * self.cpu.ns_per_byte_copy)
+
+    # ------------------------------------------------------------------
+    # typed array access
+
+    def read_array(
+        self, addr: int, dtype: Any, count: int
+    ) -> Generator[Effect, Any, np.ndarray]:
+        """Read ``count`` items of ``dtype`` from ``addr``."""
+        dt = np.dtype(dtype)
+        raw = yield from self.read_bytes(addr, dt.itemsize * count)
+        return raw.view(dt)
+
+    def write_array(self, addr: int, values: np.ndarray) -> Generator[Effect, Any, None]:
+        """Write a typed numpy array at ``addr``."""
+        arr = np.ascontiguousarray(values)
+        yield from self.write_bytes(addr, arr.view(np.uint8).reshape(-1))
+
+    # ------------------------------------------------------------------
+    # mapped (in-place) kernel access — no copy charge
+    #
+    # A DSM program's compute kernel dereferences mapped pages directly;
+    # its operand-access time is part of the arithmetic cost the app
+    # charges as flops.  These accessors therefore charge only the
+    # coherence costs (faults, transfers) plus a small per-page touch,
+    # not a per-byte memcpy — charging both would double-count.  Use
+    # read_/write_ for genuine copies (buffers, record exchange), and
+    # fetch_/store_ for kernel operands.
+
+    def fetch_array(
+        self, addr: int, dtype: Any, count: int
+    ) -> Generator[Effect, Any, np.ndarray]:
+        """Map ``count`` items of ``dtype`` for in-place kernel reads."""
+        dt = np.dtype(dtype)
+        nbytes = dt.itemsize * count
+        out = np.empty(nbytes, dtype=np.uint8)
+        protocol = self.protocol
+        pages = 0
+        for page, off, boff, length in self.layout.spans(addr, nbytes):
+            if not protocol.has_access(page, write=False):
+                yield from protocol.ensure_read(page)
+            frame = self._memory.data(page)
+            out[boff : boff + length] = frame[off : off + length]
+            pages += 1
+        yield Compute(pages * self.cpu.ns_per_op)
+        return out.view(dt)
+
+    def store_array(self, addr: int, values: np.ndarray) -> Generator[Effect, Any, None]:
+        """Write kernel output in place (coherence costs only)."""
+        arr = np.ascontiguousarray(values)
+        buf = arr.view(np.uint8).reshape(-1)
+        nbytes = len(buf)
+        protocol = self.protocol
+        pages = 0
+        for page, off, boff, length in self.layout.spans(addr, nbytes):
+            pages += 1
+            if protocol.update_policy:
+                def writer(frame, off=off, boff=boff, length=length):
+                    frame[off : off + length] = buf[boff : boff + length]
+
+                yield from protocol.locked_store(page, writer)
+                continue
+            if not protocol.has_access(page, write=True):
+                yield from protocol.ensure_write(page)
+            frame = self._memory.data(page)
+            frame[off : off + length] = buf[boff : boff + length]
+        yield Compute(pages * self.cpu.ns_per_op)
+
+    # ------------------------------------------------------------------
+    # scalar helpers
+
+    def read_f64(self, addr: int) -> Generator[Effect, Any, float]:
+        arr = yield from self.read_array(addr, np.float64, 1)
+        return float(arr[0])
+
+    def write_f64(self, addr: int, value: float) -> Generator[Effect, Any, None]:
+        yield from self.write_array(addr, np.array([value], dtype=np.float64))
+
+    def read_i64(self, addr: int) -> Generator[Effect, Any, int]:
+        arr = yield from self.read_array(addr, np.int64, 1)
+        return int(arr[0])
+
+    def write_i64(self, addr: int, value: int) -> Generator[Effect, Any, None]:
+        yield from self.write_array(addr, np.array([value], dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # atomic single-page sections (substrate for repro.sync)
+
+    def atomic_update(
+        self, addr: int, nbytes: int, fn
+    ) -> Generator[Effect, Any, Any]:
+        """Atomically read-modify-write ``nbytes`` at ``addr``.
+
+        ``fn`` receives a mutable uint8 view of the range and returns an
+        arbitrary result.  The range must lie within a single page — the
+        paper keeps each synchronisation record inside one page for
+        exactly this reason (single-page critical sections cannot
+        deadlock across nodes; see
+        :meth:`repro.svm.protocol.CoherenceProtocol.acquire_page_write`).
+        ``fn`` must be plain code: no yields, no access to other shared
+        memory.
+        """
+        pages = list(self.layout.pages_spanned(addr, nbytes))
+        if len(pages) != 1:
+            raise ValueError(
+                f"atomic range [{addr:#x}, +{nbytes}) spans {len(pages)} pages; "
+                "synchronisation records must fit in one page"
+            )
+        page = pages[0]
+        entry = yield from self.protocol.acquire_page_write(page)
+        try:
+            yield Compute(self.cpu.test_and_set)
+            frame = self._memory.data(page)
+            off = self.layout.offset_in_page(addr)
+            result = fn(frame[off : off + nbytes])
+            self.counters.inc("atomic_updates")
+            if self.protocol.update_policy:
+                yield from self.protocol.push_update_locked(page, entry)
+        finally:
+            self.protocol.release_page_write(page)
+        return result

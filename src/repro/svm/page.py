@@ -1,0 +1,103 @@
+"""Per-node page table entries for the shared virtual memory.
+
+Each node keeps one entry per shared page ("a vector of records ...
+stored in the private memory", per the paper).  The entry combines the
+MMU protection state with the coherence-protocol fields of Li & Hudak's
+algorithms:
+
+- ``access``     — NIL / READ / WRITE, the simulated protection bits;
+- ``lock``       — the per-entry lock every fault handler and server
+  acquires (``lock(PTable[p].lock)`` in the pseudocode);
+- ``is_owner``   — whether this node currently owns the page;
+- ``copy_set``   — processors holding read copies (valid on the owner);
+- ``prob_owner`` — the dynamic algorithm's ownership hint;
+- ``on_disk``    — the owner evicted the page image to its paging disk;
+- ``inv_epoch``  — bumped by every invalidation, used to detect a read
+  copy that raced an ownership transfer (see `repro.svm.protocol`).
+
+Entries are created lazily: untouched pages cost nothing, which is what
+lets experiments declare a 64 MB shared space without materialising it.
+"""
+
+from __future__ import annotations
+
+from repro.machine.mmu import Access
+from repro.sim.sync import SimLock
+
+__all__ = ["PageTableEntry", "PageTable"]
+
+
+class PageTableEntry:
+    """One node's view of one shared page."""
+
+    __slots__ = (
+        "access",
+        "lock",
+        "is_owner",
+        "copy_set",
+        "prob_owner",
+        "on_disk",
+        "inv_epoch",
+        "xfer_count",
+    )
+
+    def __init__(self, initial_owner: bool, default_owner: int) -> None:
+        self.lock = SimLock()
+        self.copy_set: set[int] = set()
+        self.prob_owner = default_owner
+        self.on_disk = False
+        self.inv_epoch = 0
+        #: Ownership transfers this page has seen (travels with grants;
+        #: drives the dynamic manager's periodic hint broadcast).
+        self.xfer_count = 0
+        self.is_owner = initial_owner
+        # The initial owner holds every page writable (zero-filled frames
+        # materialise on first touch); everyone else starts with no access.
+        self.access = Access.WRITE if initial_owner else Access.NIL
+
+    def owner_access(self) -> Access:
+        """The protection the owner is entitled to right now: WRITE when
+        it holds the sole copy, READ while read copies are outstanding."""
+        return Access.READ if self.copy_set else Access.WRITE
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flags = []
+        if self.is_owner:
+            flags.append("owner")
+        if self.on_disk:
+            flags.append("on-disk")
+        if self.lock.locked:
+            flags.append("locked")
+        return (
+            f"<PTE {self.access.name} prob={self.prob_owner} "
+            f"copies={sorted(self.copy_set)} {' '.join(flags)}>"
+        )
+
+
+class PageTable:
+    """Lazy map from page number to :class:`PageTableEntry`."""
+
+    def __init__(self, node_id: int, npages: int, default_owner: int) -> None:
+        self.node_id = node_id
+        self.npages = npages
+        self.default_owner = default_owner
+        self._entries: dict[int, PageTableEntry] = {}
+
+    def entry(self, page: int) -> PageTableEntry:
+        if not 0 <= page < self.npages:
+            raise ValueError(f"page {page} out of range (npages={self.npages})")
+        ent = self._entries.get(page)
+        if ent is None:
+            ent = PageTableEntry(
+                initial_owner=(self.node_id == self.default_owner),
+                default_owner=self.default_owner,
+            )
+            self._entries[page] = ent
+        return ent
+
+    def known_entries(self) -> dict[int, PageTableEntry]:
+        """Entries that have been materialised (for assertions/tests)."""
+        return dict(self._entries)
+
+    def __getitem__(self, page: int) -> PageTableEntry:
+        return self.entry(page)

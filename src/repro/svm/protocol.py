@@ -1,0 +1,677 @@
+"""Invalidation-based page coherence: the machinery shared by all three
+manager algorithms.
+
+The structure follows Li & Hudak's pseudocode: every fault handler and
+every server acquires the per-node, per-page table-entry lock, with two
+deliberate deviations required by an asynchronous (message-latency)
+model:
+
+1. **Invalidation servers are lock-free.**  They atomically set the page
+   access to NIL, bump the entry's invalidation epoch, and record the new
+   owner as the probable owner.  Taking the entry lock would deadlock in
+   the classic cycle: new owner P holds its lock awaiting invalidation
+   acks; copy-holder C is itself write-faulting on the page (holding its
+   lock, its request parked at P behind P's lock) and C's invalidation
+   server would wait on C's lock forever.
+
+2. **Read replies are epoch-checked.**  Because invalidations do not wait
+   for a faulting holder's lock, a read-fault reply could in principle be
+   overtaken by an invalidation for a newer write (only under frame loss
+   and retransmission — the ring itself delivers in order).  The fault
+   handler snapshots ``inv_epoch`` before requesting and retries the
+   fault if an invalidation landed meanwhile; the invalidation updated
+   the ownership hint, so the retry chases the *new* owner.
+
+Servers run as interrupt-level tasks (see `repro.net.remoteop`), so an
+owner can serve faults while its application process computes; the
+serial resource is the per-page lock, exactly as in the paper.
+
+Fault handling composes with the Aegis pager: an owner whose page image
+was evicted to disk pages it back in before serving — these are the disk
+transfers Table 1 counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.config import ClusterConfig
+from repro.machine.memory import PhysicalMemory
+from repro.machine.mmu import Access, AddressLayout
+from repro.machine.pager import Pager
+from repro.metrics.collect import Counters
+from repro.net.packet import request_size
+from repro.net.remoteop import Forward, NO_REPLY, RemoteOp, Reply
+from repro.sim.kernel import Simulator
+from repro.sim.process import Compute, Effect
+from repro.sim.trace import NULL_TRACE, TraceRecorder
+from repro.svm.page import PageTable, PageTableEntry
+
+__all__ = ["CoherenceProtocol", "ProtocolError", "make_protocol"]
+
+OP_READ = "svm.read"
+OP_WRITE = "svm.write"
+OP_INV = "svm.inv"
+OP_CHOWN = "svm.chown"
+OP_LOCATE = "svm.locate"
+OP_UPDATE = "svm.update"
+
+#: Reply meaning "I no longer own this page, ask again" — used only by
+#: the broadcast manager, whose transfers are locate-then-unicast.
+RETRY = "svm.retry"
+
+#: Wire size of a fault request: header + page number.
+FAULT_REQUEST_BYTES = request_size(8)
+
+
+class ProtocolError(RuntimeError):
+    """An invariant of the coherence protocol was violated."""
+
+
+class CoherenceProtocol:
+    """Base class: fault handling, page service, invalidation, eviction.
+
+    Subclasses supply the ownership-location policy via
+    :meth:`fault_target` (where a faulting processor sends its request)
+    and :meth:`forward_target` (where a non-owner server forwards it),
+    plus the hint/manager-table updates in :meth:`on_forward` and
+    :meth:`on_write_forwarded`.
+    """
+
+    name = "base"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        nnodes: int,
+        layout: AddressLayout,
+        table: PageTable,
+        memory: PhysicalMemory,
+        pager: Pager,
+        remote: RemoteOp,
+        config: ClusterConfig,
+        counters: Counters,
+        trace: TraceRecorder = NULL_TRACE,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.nnodes = nnodes
+        self.layout = layout
+        self.table = table
+        self.memory = memory
+        self.pager = pager
+        self.remote = remote
+        self.config = config
+        self.counters = counters
+        self.trace = trace
+        self.page_size = layout.page_size
+        remote.register(OP_READ, self._serve_read)
+        remote.register(OP_WRITE, self._serve_write)
+        remote.register(OP_INV, self._serve_inv)
+        remote.register(OP_CHOWN, self._serve_chown)
+        remote.register(OP_LOCATE, self._serve_locate)
+        remote.register(OP_UPDATE, self._serve_update)
+        # Duplicate probes: a retransmitted fault request that this node
+        # once forwarded should be *served* here if ownership has since
+        # arrived (otherwise the stale sticky route loops it away forever).
+        owns = lambda page: self.table.entry(page).is_owner
+        remote.register_local_probe(OP_READ, owns)
+        remote.register_local_probe(OP_WRITE, owns)
+        remote.register_local_probe(OP_CHOWN, owns)
+        pager.set_eviction_policy(self._evict)
+        if config.svm.write_policy not in ("invalidate", "update"):
+            raise ValueError(f"unknown write policy {config.svm.write_policy!r}")
+        #: "update" keeps read copies alive and pushes fresh page contents
+        #: to the copy set on every write (extension; IVY invalidates).
+        self.update_policy = config.svm.write_policy == "update"
+
+    # ------------------------------------------------------------------
+    # policy hooks (implemented by the three manager algorithms)
+
+    def fault_target(self, page: int, entry: PageTableEntry, write: bool) -> int:
+        """Processor a faulting node sends its request to.
+
+        When the faulting processor is itself the manager of the page it
+        consults its own ownership table directly (a self-request would
+        park behind the very page lock the fault holds) and, for writes,
+        records itself as the new owner — the same at-forward-time update
+        the manager performs for remote requesters.
+        """
+        raise NotImplementedError
+
+    def forward_target(
+        self, page: int, entry: PageTableEntry, origin: int, write: bool
+    ) -> int:
+        """Next hop for a request that arrived at a non-owner."""
+        raise NotImplementedError
+
+    def on_forward(
+        self, page: int, entry: PageTableEntry, origin: int, write: bool
+    ) -> None:
+        """Hint/manager-table update performed when forwarding."""
+
+    def on_write_served(self, page: int, origin: int) -> None:
+        """Called after this node relinquished ownership of ``page`` to
+        ``origin`` by serving a write fault.  Manager algorithms use it to
+        keep the ownership table current when the manager itself was the
+        owner (no forward happened, so :meth:`on_forward` never ran)."""
+
+    def on_became_owner(self, page: int, entry: PageTableEntry) -> None:
+        """Called (lock held) right after this node acquired ownership."""
+
+    #: True for the broadcast distributed manager: faults are located by
+    #: broadcasting; non-owner servers stay silent instead of forwarding.
+    locates_by_broadcast = False
+
+    def _locate_request(
+        self, page: int, entry: PageTableEntry, op: str, write: bool
+    ) -> Generator[Effect, Any, Any]:
+        """Send one fault request to wherever the owner can be found.
+
+        Under the broadcast manager the request is two-phase: a pure
+        location broadcast (no side effects anywhere — non-owners stay
+        silent, the owner replies with its identity *without* acting),
+        then a point-to-point transfer to the located owner.  The split
+        matters for correctness: a one-phase broadcast transfer can be
+        served twice — once by the owner at delivery time and again by
+        whichever node has *become* owner by the time its parked copy of
+        the request gets the page lock — orphaning the page's ownership.
+        If ownership moved between the phases, the unicast is answered
+        with RETRY and the location starts over.
+        """
+        if self.locates_by_broadcast:
+            while True:
+                owner = yield from self.remote.broadcast(
+                    OP_LOCATE, page, nbytes=FAULT_REQUEST_BYTES, scheme="any"
+                )
+                value = yield from self.remote.request(
+                    owner, op, page, nbytes=FAULT_REQUEST_BYTES
+                )
+                if value == RETRY:
+                    self.counters.inc("locate_retries")
+                    continue
+                return value
+        target = self.fault_target(page, entry, write=write)
+        value = yield from self.remote.request(
+            target, op, page, nbytes=FAULT_REQUEST_BYTES
+        )
+        return value
+
+    def _serve_locate(self, origin: int, page: int) -> Generator[Effect, Any, Any]:
+        """Owner-location broadcast: reply with our identity if and only
+        if we own the page; otherwise stay silent.  Completely free of
+        side effects, so retransmitted duplicates may re-execute."""
+        entry = self.table.entry(page)
+        yield from entry.lock.acquire()
+        try:
+            if entry.is_owner:
+                return Reply(self.node_id, nbytes=48)
+            return NO_REPLY
+        finally:
+            entry.lock.release()
+
+    # ------------------------------------------------------------------
+    # client side: called by the shared address space
+
+    def has_access(self, page: int, write: bool) -> bool:
+        """MMU fast-path check: protection sufficient and frame resident."""
+        entry = self.table.entry(page)
+        needed = entry.access.permits_write() if write else entry.access.permits_read()
+        return needed and page in self.memory
+
+    def ensure_read(self, page: int) -> Generator[Effect, Any, None]:
+        """Make ``page`` readable locally, faulting if necessary."""
+        entry = self.table.entry(page)
+        if entry.access.permits_read() and page in self.memory:
+            self.memory.touch(page)
+            return
+        yield from entry.lock.acquire()
+        try:
+            if entry.access.permits_read() and page in self.memory:
+                return
+            if entry.is_owner:
+                # Owner whose frame is on disk (or never touched): Aegis
+                # page-in, no coherence traffic.
+                yield from self._materialize_owner(page, entry)
+                return
+            started = self.sim.now
+            self.counters.inc("read_faults")
+            yield Compute(self.config.svm.fault_handler_cost)
+            while True:
+                epoch = entry.inv_epoch
+                data, owner = yield from self._locate_request(
+                    page, entry, OP_READ, write=False
+                )
+                if entry.inv_epoch != epoch:
+                    # Our copy was invalidated while in flight: the page
+                    # has a newer owner; chase it.
+                    self.counters.inc("stale_read_retries")
+                    continue
+                image = None if data is None else np.frombuffer(data, dtype=np.uint8)
+                yield from self.pager.install(page, image)
+                if entry.inv_epoch != epoch:
+                    # install() may consume time under frame pressure
+                    # (evictions hit the disk); an invalidation that
+                    # landed during that window makes the image stale.
+                    self.memory.drop(page)
+                    self.counters.inc("stale_read_retries")
+                    continue
+                entry.access = Access.READ
+                entry.prob_owner = owner
+                break
+            self.counters.inc("read_fault_ns", self.sim.now - started)
+            if self.trace:
+                self.trace.emit("svm.read_fault", node=self.node_id, page=page, owner=owner)
+        finally:
+            entry.lock.release()
+
+    def ensure_write(self, page: int) -> Generator[Effect, Any, None]:
+        """Make ``page`` writable locally (sole copy), faulting if needed."""
+        entry = self.table.entry(page)
+        if entry.access.permits_write() and page in self.memory:
+            self.memory.touch(page)
+            return
+        yield from entry.lock.acquire()
+        try:
+            yield from self._ensure_write_locked(page, entry)
+        finally:
+            entry.lock.release()
+
+    def acquire_page_write(self, page: int) -> Generator[Effect, Any, PageTableEntry]:
+        """Acquire the page's entry lock and write access, and *keep the
+        lock held* on return.
+
+        This is the substrate of IVY's atomic synchronisation primitives
+        ("implemented by pinning memory pages and using test-and-set"):
+        while the lock is held, remote fault requests for the page park
+        behind it, so a read-modify-write of a record inside the page is
+        atomic cluster-wide.  Callers must pair with
+        :meth:`release_page_write` and must not touch other shared pages
+        in between (single-page critical sections cannot deadlock; see
+        `repro.sync`).
+        """
+        entry = self.table.entry(page)
+        yield from entry.lock.acquire()
+        yield from self._ensure_write_locked(page, entry)
+        self.memory.pin(page)
+        return entry
+
+    def release_page_write(self, page: int) -> None:
+        """Release the pin and lock taken by :meth:`acquire_page_write`."""
+        self.memory.unpin(page)
+        self.table.entry(page).lock.release()
+
+    def _ensure_write_locked(
+        self, page: int, entry: PageTableEntry
+    ) -> Generator[Effect, Any, None]:
+        """Write-fault body; caller holds ``entry.lock``."""
+        if entry.access.permits_write() and page in self.memory:
+            self.memory.touch(page)
+            return
+        started = self.sim.now
+        if entry.is_owner:
+            # Upgrade in place: the owner knows the copy set locally.
+            yield from self._materialize_owner(page, entry)
+            if entry.copy_set and not self.update_policy:
+                self.counters.inc("write_faults")
+                yield Compute(self.config.svm.fault_handler_cost)
+                yield from self._invalidate(page, entry.copy_set)
+                entry.copy_set = set()
+                self.counters.inc("write_fault_ns", self.sim.now - started)
+            entry.access = Access.WRITE
+            return
+        self.counters.inc("write_faults")
+        yield Compute(self.config.svm.fault_handler_cost)
+        data, copy_set, xfer = yield from self._locate_request(
+            page, entry, OP_WRITE, write=True
+        )
+        image = None if data is None else np.frombuffer(data, dtype=np.uint8)
+        yield from self.pager.install(page, image)
+        entry.is_owner = True
+        entry.on_disk = False
+        entry.prob_owner = self.node_id
+        entry.xfer_count = xfer
+        holders = set(copy_set) - {self.node_id}
+        if self.update_policy:
+            # Copies stay alive; the new owner inherits the copy set and
+            # keeps it fresh on every store.
+            entry.copy_set = holders
+        else:
+            if holders:
+                yield from self._invalidate(page, holders)
+            entry.copy_set = set()
+        entry.access = Access.WRITE
+        self.counters.inc("write_fault_ns", self.sim.now - started)
+        self.on_became_owner(page, entry)
+        if self.trace:
+            self.trace.emit(
+                "svm.write_fault", node=self.node_id, page=page,
+                invalidated=sorted(holders),
+            )
+
+    # ------------------------------------------------------------------
+    # owner-side helpers
+
+    def _materialize_owner(
+        self, page: int, entry: PageTableEntry
+    ) -> Generator[Effect, Any, None]:
+        """Bring the owner's frame back (disk page-in or first-touch zeros)
+        and restore the protection the owner is entitled to."""
+        if page not in self.memory:
+            if entry.on_disk:
+                yield from self.pager.page_in(page)
+                entry.on_disk = False
+            else:
+                yield from self.pager.install(page, None)
+        else:
+            self.memory.touch(page)
+        if entry.access is Access.NIL:
+            entry.access = (
+                Access.WRITE if self.update_policy else entry.owner_access()
+            )
+
+    def _invalidate(
+        self, page: int, holders: set[int]
+    ) -> Generator[Effect, Any, None]:
+        """Invalidate every read copy; waits for all acknowledgements
+        (the broadcast "replies from all" scheme of the paper)."""
+        targets = tuple(sorted(holders))
+        self.counters.inc("invalidations_sent", len(targets))
+        if self.trace:
+            self.trace.emit(
+                "svm.invalidate", node=self.node_id, page=page, targets=targets
+            )
+        yield from self.remote.multicast(
+            targets, OP_INV, (page, self.node_id), nbytes=request_size(16)
+        )
+
+    # ------------------------------------------------------------------
+    # servers (run as interrupt-level tasks on the serving node)
+
+    def _serve_read(self, origin: int, page: int) -> Generator[Effect, Any, Any]:
+        entry = self.table.entry(page)
+        yield from entry.lock.acquire()
+        locked = True
+        try:
+            if not entry.is_owner:
+                entry.lock.release()
+                locked = False
+                if self.locates_by_broadcast:
+                    return Reply(RETRY, nbytes=48)  # moved since location
+                nxt = self.forward_target(page, entry, origin, write=False)
+                self.on_forward(page, entry, origin, write=False)
+                self.counters.inc("faults_forwarded")
+                return Forward(nxt)
+            if origin == self.node_id:
+                raise ProtocolError(f"owner {origin} read-faulted on its own page {page}")
+            if page not in self.memory and not entry.on_disk:
+                # Never-written page: grant a zero-fill copy without
+                # shipping a kilobyte of zeros (zero-fill-on-demand).
+                entry.copy_set.add(origin)
+                entry.access = Access.READ if entry.access is not Access.NIL else entry.access
+                self.counters.inc("zero_grants")
+                return Reply((None, self.node_id), nbytes=48)
+            yield from self._materialize_owner(page, entry)
+            entry.copy_set.add(origin)
+            entry.access = Access.READ
+            data = self.memory.data(page).tobytes()
+            yield Compute(self.page_size * self.config.cpu.ns_per_byte_copy)
+            self.counters.inc("page_copies_sent")
+            return Reply((data, self.node_id), nbytes=self.page_size + 48)
+        finally:
+            if locked:
+                entry.lock.release()
+
+    def _serve_write(self, origin: int, page: int) -> Generator[Effect, Any, Any]:
+        entry = self.table.entry(page)
+        yield from entry.lock.acquire()
+        locked = True
+        try:
+            if not entry.is_owner:
+                entry.lock.release()
+                locked = False
+                if self.locates_by_broadcast:
+                    return Reply(RETRY, nbytes=48)  # moved since location
+                nxt = self.forward_target(page, entry, origin, write=True)
+                self.on_forward(page, entry, origin, write=True)
+                self.counters.inc("faults_forwarded")
+                return Forward(nxt)
+            if origin == self.node_id:
+                raise ProtocolError(f"owner {origin} write-faulted on its own page {page}")
+            if page not in self.memory and not entry.on_disk:
+                # Never-written page: transfer ownership zero-filled.
+                data = None
+                nbytes = 48
+                self.counters.inc("zero_grants")
+            else:
+                yield from self._materialize_owner(page, entry)
+                data = self.memory.data(page).tobytes()
+                nbytes = self.page_size + 48
+            keep_copy = self.update_policy and data is not None
+            members = set(entry.copy_set)
+            if keep_copy:
+                members.add(self.node_id)
+            copy_set = tuple(sorted(members))
+            xfer = entry.xfer_count + 1
+            # Relinquish ownership: the requester becomes the owner.
+            # Under the invalidation policy the old owner drops its frame
+            # (the requester invalidates the copy set); under the update
+            # policy it demotes itself to a read copy the new owner will
+            # keep fresh.
+            entry.is_owner = False
+            entry.copy_set = set()
+            entry.prob_owner = origin
+            if entry.on_disk:
+                self.pager.disk.discard(page)
+                entry.on_disk = False
+            if keep_copy:
+                entry.access = Access.READ
+            else:
+                entry.access = Access.NIL
+                if page in self.memory:
+                    self.memory.drop(page)
+            self.on_write_served(page, origin)
+            if data is not None:
+                yield Compute(self.page_size * self.config.cpu.ns_per_byte_copy)
+            self.counters.inc("page_transfers_sent")
+            return Reply((data, copy_set, xfer), nbytes=nbytes + 8 * len(copy_set))
+        finally:
+            if locked:
+                entry.lock.release()
+
+    def take_ownership(self, page: int) -> Generator[Effect, Any, None]:
+        """Acquire ownership of ``page`` *without* transferring its bytes.
+
+        Used by process migration for the upper portion of a migrating
+        process's stack: "the upper portion of the stack need not move to
+        the destination processor because its content is meaningless.
+        Ownership transfer is inexpensive because it only requires
+        setting the protection bits."  The caller asserts the content is
+        dead; the new owner's frame materialises zero-filled on first
+        touch.
+        """
+        entry = self.table.entry(page)
+        if entry.is_owner and entry.access.permits_write():
+            return
+        yield from entry.lock.acquire()
+        try:
+            if entry.is_owner:
+                if entry.copy_set:
+                    yield from self._invalidate(page, entry.copy_set)
+                    entry.copy_set = set()
+                entry.access = entry.owner_access()
+                return
+            copy_set, xfer = yield from self._locate_request(
+                page, entry, OP_CHOWN, write=True
+            )
+            entry.is_owner = True
+            entry.on_disk = False
+            entry.prob_owner = self.node_id
+            entry.xfer_count = xfer
+            holders = set(copy_set) - {self.node_id}
+            if holders:
+                yield from self._invalidate(page, holders)
+            entry.copy_set = set()
+            entry.access = Access.WRITE
+            self.counters.inc("ownership_transfers")
+            self.on_became_owner(page, entry)
+        finally:
+            entry.lock.release()
+
+    def _serve_chown(self, origin: int, page: int) -> Generator[Effect, Any, Any]:
+        """Relinquish ownership without sending the page image."""
+        entry = self.table.entry(page)
+        yield from entry.lock.acquire()
+        locked = True
+        try:
+            if not entry.is_owner:
+                entry.lock.release()
+                locked = False
+                if self.locates_by_broadcast:
+                    return Reply(RETRY, nbytes=48)  # moved since location
+                nxt = self.forward_target(page, entry, origin, write=True)
+                self.on_forward(page, entry, origin, write=True)
+                self.counters.inc("faults_forwarded")
+                return Forward(nxt)
+            if origin == self.node_id:
+                raise ProtocolError(f"owner {origin} chown-requested its own page {page}")
+            copy_set = tuple(sorted(entry.copy_set))
+            xfer = entry.xfer_count + 1
+            entry.is_owner = False
+            entry.access = Access.NIL
+            entry.copy_set = set()
+            entry.prob_owner = origin
+            if entry.on_disk:
+                self.pager.disk.discard(page)
+                entry.on_disk = False
+            if page in self.memory:
+                self.memory.drop(page)
+            self.on_write_served(page, origin)
+            return Reply((copy_set, xfer), nbytes=48 + 8 * len(copy_set))
+        finally:
+            if locked:
+                entry.lock.release()
+
+    def push_update_locked(self, page: int, entry: PageTableEntry) -> Generator[Effect, Any, None]:
+        """Multicast this page's fresh contents to every copy holder.
+
+        Caller holds ``entry.lock`` and is the owner; the lock spans the
+        store *and* the push, so an ownership transfer observes either
+        the pre-store or the fully-pushed state — never a mutated frame
+        whose copies were silently left stale."""
+        if not entry.copy_set:
+            return
+        data = self.memory.data(page).tobytes()
+        yield Compute(self.page_size * self.config.cpu.ns_per_byte_copy)
+        self.counters.inc("updates_sent", len(entry.copy_set))
+        yield from self.remote.multicast(
+            tuple(sorted(entry.copy_set)), OP_UPDATE, (page, data),
+            nbytes=self.page_size + 48,
+        )
+
+    def locked_store(self, page: int, writer) -> Generator[Effect, Any, None]:
+        """Write-policy-aware store: take the page lock, get write access,
+        apply ``writer(frame)`` (plain code), and push updates to copy
+        holders (update policy only).  The invalidation policy's stores
+        use the lock-free fast path instead."""
+        entry = self.table.entry(page)
+        yield from entry.lock.acquire()
+        try:
+            yield from self._ensure_write_locked(page, entry)
+            writer(self.memory.data(page))
+            yield from self.push_update_locked(page, entry)
+        finally:
+            entry.lock.release()
+
+    def _serve_update(
+        self, origin: int, payload: tuple[int, Any]
+    ) -> Generator[Effect, Any, bool]:
+        """Apply a pushed page image to our read copy (lock-free, like
+        invalidation).  If we have no frame to apply it to — e.g. a read
+        grant is still in flight — bump the invalidation epoch so the
+        pending fault retries and fetches the fresh bytes."""
+        page, data = payload
+        entry = self.table.entry(page)
+        if entry.is_owner:
+            raise ProtocolError(
+                f"node {self.node_id} received an update for page {page} it owns"
+            )
+        if page in self.memory and entry.access.permits_read():
+            frame = self.memory.data(page)
+            frame[:] = np.frombuffer(data, dtype=np.uint8)
+        else:
+            entry.inv_epoch += 1
+        entry.prob_owner = origin
+        self.counters.inc("updates_received")
+        yield Compute(self.page_size * self.config.cpu.ns_per_byte_copy)
+        return True
+
+    def _serve_inv(self, origin: int, payload: tuple[int, int]) -> Generator[Effect, Any, bool]:
+        """Lock-free invalidation (see module docstring for why)."""
+        page, new_owner = payload
+        entry = self.table.entry(page)
+        if entry.is_owner:
+            raise ProtocolError(
+                f"node {self.node_id} received invalidation for page {page} it owns"
+            )
+        entry.access = Access.NIL
+        entry.prob_owner = new_owner
+        entry.inv_epoch += 1
+        if page in self.memory and not self.memory.pinned(page):
+            self.memory.drop(page)
+        self.counters.inc("invalidations_received")
+        yield Compute(self.config.cpu.ns_per_op * 20)
+        return True
+
+    # ------------------------------------------------------------------
+    # eviction policy (invoked by the pager under frame pressure)
+
+    def _evict(self, page: int) -> Generator[Effect, Any, bool]:
+        entry = self.table.entry(page)
+        if not entry.lock.try_acquire():
+            return False  # protocol operation in flight: veto this victim
+        try:
+            if page not in self.memory:
+                return True
+            if self.memory.pinned(page):
+                return False
+            if entry.is_owner:
+                yield from self.pager.page_out(page)
+                entry.on_disk = True
+                entry.access = Access.NIL
+                self.counters.inc("owner_pageouts")
+            else:
+                # A read copy can be dropped silently: the owner keeps the
+                # data, and a later invalidation to a non-holder is a no-op.
+                self.memory.drop(page)
+                entry.access = Access.NIL
+                self.counters.inc("copy_drops")
+            return True
+        finally:
+            entry.lock.release()
+
+
+def make_protocol(algorithm: str, **kwargs) -> CoherenceProtocol:
+    """Instantiate the named coherence algorithm for one node."""
+    from repro.svm.broadcast import BroadcastProtocol
+    from repro.svm.centralized import CentralizedProtocol
+    from repro.svm.dynamic import DynamicDistributedProtocol
+    from repro.svm.fixed import FixedDistributedProtocol
+
+    classes = {
+        "centralized": CentralizedProtocol,
+        "fixed": FixedDistributedProtocol,
+        "dynamic": DynamicDistributedProtocol,
+        "broadcast": BroadcastProtocol,
+    }
+    try:
+        cls = classes[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown coherence algorithm {algorithm!r}; "
+            f"expected one of {sorted(classes)}"
+        ) from None
+    return cls(**kwargs)

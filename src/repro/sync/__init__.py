@@ -1,0 +1,49 @@
+"""Client-visible synchronisation, built **on** the shared virtual memory.
+
+Exactly as in IVY, the primitives are ordinary data structures living in
+shared pages, manipulated with pinned-page test-and-set atomic sections
+(`SharedAddressSpace.atomic_update`), plus a remote *notification*
+operation to wake processes on other processors.  "The data structures
+of an eventcount usually reside together in one page", which also makes
+the operations local once the page has migrated to the caller —
+the performance property the paper highlights.
+
+- `repro.sync.eventcount` — Init / Read / Wait / Advance (Aegis's native
+  mechanism and IVY's primary synchronisation primitive);
+- `repro.sync.lock`       — binary locks with a waiter queue ("a failed
+  process will be put into a queue and will be awakened by an unlock");
+- `repro.sync.sequencer`  — atomic ticket dispenser (Reed & Kanodia's
+  companion to eventcounts);
+- `repro.sync.barrier`    — iteration barrier composed from a sequencer
+  and an eventcount, used by the Jacobi-style benchmarks.
+"""
+
+from repro.sync.eventcount import (
+    EC_RECORD_BYTES,
+    ec_advance,
+    ec_init,
+    ec_read,
+    ec_wait,
+    waiter_capacity,
+)
+from repro.sync.lock import LOCK_RECORD_BYTES, lock_acquire, lock_init, lock_release
+from repro.sync.sequencer import SEQ_RECORD_BYTES, seq_init, seq_ticket
+from repro.sync.barrier import BARRIER_RECORD_BYTES, Barrier
+
+__all__ = [
+    "EC_RECORD_BYTES",
+    "ec_init",
+    "ec_read",
+    "ec_wait",
+    "ec_advance",
+    "waiter_capacity",
+    "LOCK_RECORD_BYTES",
+    "lock_init",
+    "lock_acquire",
+    "lock_release",
+    "SEQ_RECORD_BYTES",
+    "seq_init",
+    "seq_ticket",
+    "BARRIER_RECORD_BYTES",
+    "Barrier",
+]

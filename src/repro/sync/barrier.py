@@ -1,0 +1,58 @@
+"""Iteration barriers from a sequencer + an eventcount.
+
+"All the processes are synchronized at each iteration by using an
+eventcount" — the classic composition: each arrival takes a ticket,
+advances the eventcount, and waits for the count to reach the end of
+its own round.  Works for any number of rounds without reinitialisation
+and tolerates processes arriving at different rounds simultaneously
+(ticket arithmetic keeps rounds disjoint).
+
+Record layout: ``[sequencer int64][eventcount record]`` — note this
+makes a barrier record share one page, like all IVY synchronisation
+structures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sync.context import SyncContext
+from repro.sync.eventcount import ec_advance, ec_init, ec_wait
+from repro.sync.sequencer import SEQ_RECORD_BYTES, seq_init, seq_ticket
+
+__all__ = ["BARRIER_RECORD_BYTES", "Barrier"]
+
+#: Conventional allocation size for one barrier (one 1 KB page).
+BARRIER_RECORD_BYTES = 1024
+
+
+class Barrier:
+    """A reusable n-party barrier at a fixed shared address."""
+
+    def __init__(self, addr: int, parties: int) -> None:
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self.addr = addr
+        self.parties = parties
+        self._seq_addr = addr
+        self._ec_addr = addr + SEQ_RECORD_BYTES
+
+    def init(self, ctx: SyncContext) -> Generator[Any, Any, None]:
+        """Initialise the record (call once, any process)."""
+        yield from seq_init(ctx, self._seq_addr)
+        yield from ec_init(ctx, self._ec_addr)
+
+    def arrive(self, ctx: SyncContext, on_release=None) -> Generator[Any, Any, None]:
+        """Block until all ``parties`` processes of this round arrive.
+
+        ``on_release``, if given, is invoked (plain call, no yields) by
+        exactly one process — the one whose Advance completed the round —
+        at the simulated instant the barrier opens.  Experiments use this
+        to close measurement epochs exactly at iteration boundaries.
+        """
+        ticket = yield from seq_ticket(ctx, self._seq_addr)
+        round_end = (ticket // self.parties + 1) * self.parties
+        value = yield from ec_advance(ctx, self._ec_addr)
+        if value == round_end and on_release is not None:
+            on_release()
+        yield from ec_wait(ctx, self._ec_addr, round_end)

@@ -1,0 +1,43 @@
+"""The capability bundle synchronisation primitives operate through.
+
+A :class:`SyncContext` is what a *process* brings to a synchronisation
+call: its node's view of the shared memory, its own identity, and the
+ability to park itself and to wake others (locally or via the remote
+notification operation).  `repro.api.ivy.IvyProcessContext` implements
+this against the live cluster; unit tests implement it with stubs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Protocol
+
+from repro.proc.pcb import Pid
+from repro.svm.address_space import SharedAddressSpace
+
+__all__ = ["SyncContext"]
+
+
+class SyncContext(Protocol):
+    """What eventcounts/locks need from their caller."""
+
+    @property
+    def mem(self) -> SharedAddressSpace:
+        """The *current* node's shared address space (follows migration)."""
+        ...
+
+    def self_pid(self) -> Pid:
+        """The calling process's identifier."""
+        ...
+
+    def park(self) -> Generator[Any, Any, Any]:
+        """Suspend the calling process until a resume arrives.
+
+        Must be invoked in the same simulation event as the atomic
+        section that registered the caller as a waiter — the simulator's
+        event atomicity is what makes register-then-park race-free.
+        """
+        ...
+
+    def resume(self, pid: Pid, value: Any = None) -> Generator[Any, Any, None]:
+        """Wake a process anywhere in the cluster (remote notification)."""
+        ...

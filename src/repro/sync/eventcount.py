@@ -1,0 +1,159 @@
+"""Eventcounts in shared memory: Init / Read / Wait / Advance.
+
+Record layout inside a shared page (all little-endian int64)::
+
+    offset 0   value      — the count
+    offset 8   nwaiters   — live entries in the waiter table
+    offset 16  waiters[]  — (birth_node, serial, target) per waiter
+
+The whole record must fit in one page (the paper: "the data structures
+of an eventcount usually reside together in one page"); with 1 KB pages
+that is 42 concurrent waiters per eventcount, far above what the
+benchmark suite needs.  Multi-page chaining (the paper links additional
+pages) is intentionally not implemented — see DESIGN.md's simplification
+list.
+
+Atomicity comes from ``atomic_update``: the page is owned, pinned and
+its table-entry lock held for the duration of the read-modify-write, so
+Wait's decide-and-register and Advance's bump-and-collect are
+indivisible cluster-wide.  Waking remote waiters uses the remote
+notification operation (``proc.resume``), which follows migration
+forwarding pointers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.proc.pcb import Pid
+from repro.sync.context import SyncContext
+
+__all__ = [
+    "EC_RECORD_BYTES",
+    "EventcountFull",
+    "ec_init",
+    "ec_read",
+    "ec_wait",
+    "ec_advance",
+    "waiter_capacity",
+]
+
+_HEADER_WORDS = 2  # value, nwaiters
+_WAITER_WORDS = 3  # birth, serial, target
+
+
+class EventcountFull(RuntimeError):
+    """The single-page waiter table overflowed."""
+
+
+def waiter_capacity(page_size: int) -> int:
+    """Waiters that fit alongside the header in one page."""
+    return (page_size // 8 - _HEADER_WORDS) // _WAITER_WORDS
+
+
+def _geometry(ctx: "SyncContext", addr: int) -> tuple[int, int]:
+    """(record size, waiter capacity) for a record at ``addr``.
+
+    The record occupies the rest of its page from ``addr``, so an
+    eventcount embedded mid-page (e.g. inside a barrier record) simply
+    has a smaller waiter table.
+    """
+    layout = ctx.mem.layout
+    avail = layout.page_size - layout.offset_in_page(addr)
+    capacity = (avail // 8 - _HEADER_WORDS) // _WAITER_WORDS
+    if capacity < 1:
+        raise ValueError(f"no room for an eventcount at {addr:#x}")
+    return 8 * (_HEADER_WORDS + _WAITER_WORDS * capacity), capacity
+
+
+#: Conventional allocation size for one eventcount (one 1 KB page).
+EC_RECORD_BYTES = 1024
+
+
+def ec_init(ctx: SyncContext, addr: int) -> Generator[Any, Any, None]:
+    """Init(ec): zero the record.  Any process may then use it without
+    knowing where it resides."""
+    size, _ = _geometry(ctx, addr)
+
+    def clear(view: np.ndarray) -> None:
+        view[:] = 0
+
+    yield from ctx.mem.atomic_update(addr, size, clear)
+
+
+def ec_read(ctx: SyncContext, addr: int) -> Generator[Any, Any, int]:
+    """Read(ec): the current value (a plain shared-memory read)."""
+    value = yield from ctx.mem.read_i64(addr)
+    return value
+
+
+def ec_wait(ctx: SyncContext, addr: int, target: int) -> Generator[Any, Any, int]:
+    """Wait(ec, value): suspend until the count reaches ``target``.
+
+    Returns the count observed when the process continues.
+    """
+    size, capacity = _geometry(ctx, addr)
+    pid = ctx.self_pid()
+
+    def decide(view: np.ndarray) -> int:
+        words = view.view(np.int64)
+        value = int(words[0])
+        if value >= target:
+            return value
+        n = int(words[1])
+        if n >= capacity:
+            raise EventcountFull(
+                f"eventcount at {addr:#x} has {n} waiters (capacity {capacity})"
+            )
+        base = _HEADER_WORDS + n * _WAITER_WORDS
+        words[base : base + 3] = (pid.node, pid.serial, target)
+        words[1] = n + 1
+        return -1
+
+    value = yield from ctx.mem.atomic_update(addr, size, decide)
+    if value >= 0:
+        return value
+    # Registered as a waiter inside the atomic section; park in the same
+    # simulation event (no advance can slip in between).
+    woken_value = yield from ctx.park()
+    return int(woken_value) if woken_value is not None else target
+
+
+def ec_advance(ctx: SyncContext, addr: int) -> Generator[Any, Any, int]:
+    """Advance(ec): increment and wake every waiter whose target is
+    reached.  Returns the new value."""
+    size, _ = _geometry(ctx, addr)
+
+    def bump(view: np.ndarray) -> tuple[int, list[tuple[int, int]]]:
+        words = view.view(np.int64)
+        value = int(words[0]) + 1
+        words[0] = value
+        n = int(words[1])
+        ripe: list[tuple[int, int]] = []
+        keep = 0
+        for i in range(n):
+            base = _HEADER_WORDS + i * _WAITER_WORDS
+            birth, serial, target = (int(w) for w in words[base : base + 3])
+            if target <= value:
+                ripe.append((birth, serial))
+            else:
+                dst = _HEADER_WORDS + keep * _WAITER_WORDS
+                if dst != base:
+                    words[dst : dst + 3] = words[base : base + 3]
+                keep += 1
+        words[1] = keep
+        return value, ripe
+
+    value, ripe = yield from ctx.mem.atomic_update(addr, size, bump)
+    resume_async = getattr(ctx, "resume_async", None)
+    for birth, serial in ripe:
+        if resume_async is not None:
+            # Notifications are fired back-to-back; the transport still
+            # guarantees delivery.  Waiting for each ack in turn would put
+            # n round-trips on the critical path of every barrier release.
+            resume_async(Pid(birth, serial), value)
+        else:
+            yield from ctx.resume(Pid(birth, serial), value)
+    return value

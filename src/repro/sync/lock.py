@@ -1,0 +1,106 @@
+"""Binary locks in shared memory with a FIFO waiter queue.
+
+"IVY uses a binary lock ... a test-and-set operation is performed on
+the lock.  A failed process will be put into a queue and will be
+awakened by an unlock operation."
+
+Record layout (int64 words)::
+
+    offset 0   held       — 0 free, 1 held
+    offset 8   nwaiters
+    offset 16  waiters[]  — (birth_node, serial) per waiter, FIFO
+
+Release performs a direct hand-off: the lock stays held and the oldest
+waiter is resumed as the new holder, so the lock cannot be stolen
+between release and wake-up.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.proc.pcb import Pid
+from repro.sync.context import SyncContext
+
+__all__ = ["LOCK_RECORD_BYTES", "LockFull", "lock_init", "lock_acquire", "lock_release"]
+
+_HEADER_WORDS = 2
+_WAITER_WORDS = 2
+
+
+class LockFull(RuntimeError):
+    """The single-page waiter queue overflowed."""
+
+
+def _geometry(ctx: SyncContext, addr: int) -> tuple[int, int]:
+    """(record size, waiter capacity) for the rest of the page at addr."""
+    layout = ctx.mem.layout
+    avail = layout.page_size - layout.offset_in_page(addr)
+    capacity = (avail // 8 - _HEADER_WORDS) // _WAITER_WORDS
+    if capacity < 1:
+        raise ValueError(f"no room for a lock at {addr:#x}")
+    return 8 * (_HEADER_WORDS + _WAITER_WORDS * capacity), capacity
+
+
+#: Conventional allocation size for one lock (one 1 KB page).
+LOCK_RECORD_BYTES = 1024
+
+
+def lock_init(ctx: SyncContext, addr: int) -> Generator[Any, Any, None]:
+    size, _ = _geometry(ctx, addr)
+
+    def clear(view: np.ndarray) -> None:
+        view[:] = 0
+
+    yield from ctx.mem.atomic_update(addr, size, clear)
+
+
+def lock_acquire(ctx: SyncContext, addr: int) -> Generator[Any, Any, None]:
+    """Test-and-set; on failure enqueue and suspend until handed the lock."""
+    size, capacity = _geometry(ctx, addr)
+    pid = ctx.self_pid()
+
+    def test_and_set(view: np.ndarray) -> bool:
+        words = view.view(np.int64)
+        if words[0] == 0:
+            words[0] = 1
+            return True
+        n = int(words[1])
+        if n >= capacity:
+            raise LockFull(f"lock at {addr:#x} has {n} waiters")
+        base = _HEADER_WORDS + n * _WAITER_WORDS
+        words[base : base + 2] = (pid.node, pid.serial)
+        words[1] = n + 1
+        return False
+
+    got = yield from ctx.mem.atomic_update(addr, size, test_and_set)
+    if not got:
+        yield from ctx.park()  # the releaser hands the lock to us directly
+
+
+def lock_release(ctx: SyncContext, addr: int) -> Generator[Any, Any, None]:
+    """Unlock; hands off to the oldest waiter if one is queued."""
+    size, _ = _geometry(ctx, addr)
+
+    def unlock(view: np.ndarray) -> tuple[int, int] | None:
+        words = view.view(np.int64)
+        if words[0] == 0:
+            raise RuntimeError(f"release of unheld lock at {addr:#x}")
+        n = int(words[1])
+        if n == 0:
+            words[0] = 0
+            return None
+        birth, serial = int(words[_HEADER_WORDS]), int(words[_HEADER_WORDS + 1])
+        # Compact the FIFO; the lock stays held for the new owner.
+        for i in range(1, n):
+            src = _HEADER_WORDS + i * _WAITER_WORDS
+            dst = _HEADER_WORDS + (i - 1) * _WAITER_WORDS
+            words[dst : dst + 2] = words[src : src + 2]
+        words[1] = n - 1
+        return birth, serial
+
+    heir = yield from ctx.mem.atomic_update(addr, size, unlock)
+    if heir is not None:
+        yield from ctx.resume(Pid(heir[0], heir[1]))

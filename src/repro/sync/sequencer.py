@@ -1,0 +1,39 @@
+"""Sequencers: atomic ticket dispensers (Reed & Kanodia's companion
+primitive to eventcounts).
+
+A sequencer is a single shared int64; ``seq_ticket`` is an atomic
+fetch-and-increment.  Combined with an eventcount it yields total
+orderings — the barrier uses exactly that composition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.sync.context import SyncContext
+
+__all__ = ["SEQ_RECORD_BYTES", "seq_init", "seq_ticket"]
+
+SEQ_RECORD_BYTES = 8
+
+
+def seq_init(ctx: SyncContext, addr: int) -> Generator[Any, Any, None]:
+    def clear(view: np.ndarray) -> None:
+        view.view(np.int64)[0] = 0
+
+    yield from ctx.mem.atomic_update(addr, SEQ_RECORD_BYTES, clear)
+
+
+def seq_ticket(ctx: SyncContext, addr: int) -> Generator[Any, Any, int]:
+    """Atomically return the current ticket and advance the dispenser."""
+
+    def take(view: np.ndarray) -> int:
+        cell = view.view(np.int64)
+        ticket = int(cell[0])
+        cell[0] = ticket + 1
+        return ticket
+
+    ticket = yield from ctx.mem.atomic_update(addr, SEQ_RECORD_BYTES, take)
+    return ticket

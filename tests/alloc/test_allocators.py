@@ -1,0 +1,111 @@
+"""Integration tests for the central and two-level allocators."""
+
+import pytest
+
+from repro import ClusterConfig, Ivy
+from repro.alloc.firstfit import OutOfSharedMemory
+from repro.sync.eventcount import EC_RECORD_BYTES
+
+
+def make_ivy(allocator="central", nodes=3, shared_size=None):
+    config = ClusterConfig(nodes=nodes).with_sched(allocator=allocator)
+    if shared_size is not None:
+        config = config.with_svm(shared_size=shared_size)
+    return Ivy(config)
+
+
+@pytest.mark.parametrize("allocator", ["central", "twolevel"])
+def test_remote_allocations_are_disjoint_and_usable(allocator):
+    ivy = make_ivy(allocator)
+
+    def worker(ctx, out_addr, k, done):
+        addr = yield from ctx.malloc(700)
+        yield from ctx.write_i64(addr, 4000 + k)  # prove it's writable
+        yield from ctx.write_i64(out_addr + 8 * k, addr)
+        yield from ctx.ec_advance(done)
+
+    def main(ctx):
+        import numpy as np
+
+        out = yield from ctx.malloc(8 * 3)
+        done = yield from ctx.malloc(EC_RECORD_BYTES)
+        yield from ctx.ec_init(done)
+        for k in range(3):
+            yield from ctx.spawn(worker, out, k, done, on=k)
+        yield from ctx.ec_wait(done, 3)
+        addrs = yield from ctx.read_array(out, np.int64, 3)
+        values = []
+        for addr in addrs:
+            v = yield from ctx.read_i64(int(addr))
+            values.append(v)
+        return addrs.tolist(), values
+
+    addrs, values = ivy.run(main)
+    page = ivy.config.svm.page_size
+    assert len(set(addrs)) == 3
+    assert all(a % page == 0 for a in addrs)
+    assert values == [4000, 4001, 4002]
+
+
+def test_central_allocator_exhaustion_is_loud():
+    ivy = make_ivy("central", nodes=1, shared_size=16 * 1024)
+
+    def main(ctx):
+        for _ in range(20):
+            yield from ctx.malloc(4 * 1024)
+
+    with pytest.raises(Exception) as exc_info:
+        ivy.run(main)
+    assert isinstance(exc_info.value.__cause__, OutOfSharedMemory)
+
+
+def test_remote_free_of_bad_address_is_loud():
+    ivy = make_ivy("central", nodes=2)
+
+    def worker(ctx, done):
+        yield from ctx.free(0x8000_0000 + 12288)  # never allocated
+
+    def main(ctx):
+        done = yield from ctx.malloc(EC_RECORD_BYTES)
+        yield from ctx.ec_init(done)
+        yield from ctx.spawn(worker, done, on=1)
+        yield ctx.compute(100_000_000)
+        return True
+
+    with pytest.raises(Exception):
+        ivy.run(main)
+
+
+def test_twolevel_serves_locally_after_refill():
+    ivy = make_ivy("twolevel", nodes=2)
+
+    def worker(ctx, done):
+        for _ in range(6):
+            addr = yield from ctx.malloc(512)
+            yield from ctx.free(addr)
+        yield from ctx.ec_advance(done)
+
+    def main(ctx):
+        done = yield from ctx.malloc(EC_RECORD_BYTES)
+        yield from ctx.ec_init(done)
+        yield from ctx.spawn(worker, done, on=1)
+        yield from ctx.ec_wait(done, 1)
+        return True
+
+    assert ivy.run(main)
+    c1 = ivy.node(1).counters
+    assert c1["chunk_refills"] == 1  # one chunk covers the burst
+    assert c1["local_allocations"] >= 5
+
+
+def test_twolevel_refills_with_oversized_requests():
+    ivy = make_ivy("twolevel", nodes=1)
+    chunk = ivy.config.sched.alloc_chunk_pages * ivy.config.svm.page_size
+
+    def main(ctx):
+        big = yield from ctx.malloc(chunk * 2)  # larger than one chunk
+        yield from ctx.write_i64(big, 7)
+        v = yield from ctx.read_i64(big)
+        return v
+
+    assert ivy.run(main) == 7

@@ -1,0 +1,98 @@
+"""Unit + property tests for the first-fit free list (pure data structure)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.firstfit import FreeList, OutOfSharedMemory
+
+BASE = 0x1000
+SIZE = 64 * 1024
+
+
+def test_first_fit_takes_lowest_hole():
+    fl = FreeList(BASE, SIZE)
+    a = fl.alloc(1024)
+    b = fl.alloc(1024)
+    assert a == BASE
+    assert b == BASE + 1024
+    fl.free(a)
+    c = fl.alloc(512)
+    assert c == a  # first fit reuses the lowest hole
+
+
+def test_exhaustion_raises():
+    fl = FreeList(BASE, 2048)
+    fl.alloc(2048)
+    with pytest.raises(OutOfSharedMemory):
+        fl.alloc(1)
+
+
+def test_free_coalesces_both_sides():
+    fl = FreeList(BASE, 3 * 1024)
+    a = fl.alloc(1024)
+    b = fl.alloc(1024)
+    c = fl.alloc(1024)
+    fl.free(a)
+    fl.free(c)
+    fl.free(b)  # merges with both neighbours
+    assert fl.free_bytes() == 3 * 1024
+    assert fl.alloc(3 * 1024) == BASE  # single hole again
+
+
+def test_double_free_rejected():
+    fl = FreeList(BASE, 4096)
+    a = fl.alloc(1024)
+    fl.free(a)
+    with pytest.raises(ValueError):
+        fl.free(a)
+
+
+def test_free_of_unallocated_address_rejected():
+    fl = FreeList(BASE, 4096)
+    with pytest.raises(ValueError):
+        fl.free(BASE + 512)
+
+
+def test_donate_seeds_an_empty_list():
+    fl = FreeList()
+    with pytest.raises(OutOfSharedMemory):
+        fl.alloc(16)
+    fl.donate(BASE, 4096)
+    assert fl.alloc(4096) == BASE
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]), st.integers(1, 8)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_freelist_invariants_under_random_workload(ops):
+    """Invariants: allocations are disjoint, stay in bounds, and
+    allocated + free bytes always equals the arena size."""
+    fl = FreeList(BASE, SIZE)
+    live: list[tuple[int, int]] = []
+    for kind, amount in ops:
+        if kind == "alloc":
+            size = amount * 512
+            try:
+                addr = fl.alloc(size)
+            except OutOfSharedMemory:
+                continue
+            assert BASE <= addr and addr + size <= BASE + SIZE
+            for other, osize in live:
+                assert addr + size <= other or other + osize <= addr, "overlap"
+            live.append((addr, size))
+        elif live:
+            idx = amount % len(live)
+            addr, size = live.pop(idx)
+            fl.free(addr)
+        allocated = sum(size for _, size in live)
+        assert allocated + fl.free_bytes() == SIZE
+    for addr, _ in live:
+        fl.free(addr)
+    assert fl.free_bytes() == SIZE
+    assert fl.alloc(SIZE) == BASE  # fully coalesced at the end

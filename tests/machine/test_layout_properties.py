@@ -1,0 +1,64 @@
+"""Property-based tests for address arithmetic (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.mmu import AddressLayout
+
+BASE = 0x8000_0000
+PAGES = 64
+
+
+def layouts():
+    return st.sampled_from([256, 512, 1024, 4096]).map(
+        lambda ps: AddressLayout(BASE, PAGES * ps, ps)
+    )
+
+
+@settings(max_examples=200)
+@given(
+    layout=layouts(),
+    start=st.integers(min_value=0, max_value=PAGES * 256 - 1),
+    nbytes=st.integers(min_value=0, max_value=3000),
+)
+def test_spans_partition_the_range_exactly(layout, start, nbytes):
+    addr = BASE + start
+    nbytes = min(nbytes, layout.size - start)
+    pieces = list(layout.spans(addr, nbytes))
+    # Pieces are contiguous in the buffer and cover it exactly.
+    expected_offset = 0
+    covered = 0
+    for page, off, boff, length in pieces:
+        assert boff == expected_offset
+        assert length > 0
+        assert 0 <= off < layout.page_size
+        assert off + length <= layout.page_size
+        # The piece's virtual address really lies in that page.
+        assert layout.page_of(addr + boff) == page
+        expected_offset += length
+        covered += length
+    assert covered == nbytes
+
+
+@settings(max_examples=200)
+@given(
+    layout=layouts(),
+    start=st.integers(min_value=0, max_value=PAGES * 256 - 1),
+    nbytes=st.integers(min_value=1, max_value=3000),
+)
+def test_pages_spanned_matches_spans(layout, start, nbytes):
+    addr = BASE + start
+    nbytes = max(1, min(nbytes, layout.size - start))
+    via_spans = [p for p, _, _, _ in layout.spans(addr, nbytes)]
+    assert via_spans == list(layout.pages_spanned(addr, nbytes))
+    # Contiguous, increasing page numbers.
+    assert via_spans == sorted(set(via_spans))
+
+
+@settings(max_examples=100)
+@given(layout=layouts(), page=st.integers(min_value=0, max_value=PAGES - 1))
+def test_page_base_roundtrip(layout, page):
+    base_addr = layout.page_base(page)
+    assert layout.page_of(base_addr) == page
+    assert layout.offset_in_page(base_addr) == 0
+    assert layout.page_of(base_addr + layout.page_size - 1) == page

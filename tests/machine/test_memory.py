@@ -1,0 +1,95 @@
+"""Unit tests for the physical frame pool."""
+
+import numpy as np
+import pytest
+
+from repro.machine.memory import FramePressure, PhysicalMemory
+
+
+def test_install_and_read_back():
+    mem = PhysicalMemory(page_size=64, frames=4)
+    data = np.arange(64, dtype=np.uint8)
+    mem.install(5, data)
+    assert 5 in mem
+    assert np.array_equal(mem.data(5), data)
+
+
+def test_install_zero_fills_by_default():
+    mem = PhysicalMemory(page_size=32, frames=None)
+    frame = mem.install(0)
+    assert np.all(frame == 0)
+
+
+def test_capacity_enforced():
+    mem = PhysicalMemory(page_size=16, frames=2)
+    mem.install(0)
+    mem.install(1)
+    assert mem.full
+    with pytest.raises(FramePressure):
+        mem.install(2)
+    # Reinstall of a resident page is fine even when full.
+    mem.install(1, np.ones(16, dtype=np.uint8))
+
+
+def test_lru_victim_is_least_recently_used():
+    mem = PhysicalMemory(page_size=16, frames=3)
+    mem.install(10)
+    mem.install(11)
+    mem.install(12)
+    mem.touch(10)  # 11 is now the coldest
+    assert mem.lru_victim() == 11
+
+
+def test_pinning_excludes_from_eviction():
+    mem = PhysicalMemory(page_size=16, frames=2)
+    mem.install(0)
+    mem.install(1)
+    mem.pin(0)
+    # 0 is older but pinned.
+    assert mem.lru_victim() == 1
+    mem.pin(1)
+    with pytest.raises(FramePressure):
+        mem.lru_victim()
+    mem.unpin(0)
+    assert mem.lru_victim() == 0
+
+
+def test_nested_pins():
+    mem = PhysicalMemory(page_size=16, frames=None)
+    mem.install(3)
+    mem.pin(3)
+    mem.pin(3)
+    mem.unpin(3)
+    assert mem.pinned(3)
+    mem.unpin(3)
+    assert not mem.pinned(3)
+    with pytest.raises(RuntimeError):
+        mem.unpin(3)
+
+
+def test_drop_rejects_pinned_pages():
+    mem = PhysicalMemory(page_size=16, frames=None)
+    mem.install(1)
+    mem.pin(1)
+    with pytest.raises(RuntimeError):
+        mem.drop(1)
+    mem.unpin(1)
+    mem.drop(1)
+    assert 1 not in mem
+
+
+def test_data_of_missing_page_raises():
+    mem = PhysicalMemory(page_size=16, frames=None)
+    with pytest.raises(KeyError):
+        mem.data(99)
+
+
+def test_wrong_size_install_rejected():
+    mem = PhysicalMemory(page_size=16, frames=None)
+    with pytest.raises(ValueError):
+        mem.install(0, np.zeros(8, dtype=np.uint8))
+
+
+def test_tiny_capacity_rejected():
+    with pytest.raises(ValueError):
+        PhysicalMemory(page_size=16, frames=1)

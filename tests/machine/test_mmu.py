@@ -1,0 +1,70 @@
+"""Unit tests for address layout and protection modes."""
+
+import pytest
+
+from repro.machine.mmu import Access, AddressLayout
+
+
+BASE = 0x8000_0000
+
+
+def layout(page_size=1024, pages=16):
+    return AddressLayout(BASE, pages * page_size, page_size)
+
+
+def test_access_ordering():
+    assert Access.NIL < Access.READ < Access.WRITE
+    assert not Access.NIL.permits_read()
+    assert Access.READ.permits_read()
+    assert not Access.READ.permits_write()
+    assert Access.WRITE.permits_read() and Access.WRITE.permits_write()
+
+
+def test_page_of_and_base_roundtrip():
+    lay = layout()
+    for page in (0, 1, 7, 15):
+        addr = lay.page_base(page)
+        assert lay.page_of(addr) == page
+        assert lay.page_of(addr + 1023) == page
+
+
+def test_offset_in_page():
+    lay = layout()
+    assert lay.offset_in_page(BASE) == 0
+    assert lay.offset_in_page(BASE + 1500) == 1500 - 1024
+
+
+def test_pages_spanned():
+    lay = layout()
+    assert list(lay.pages_spanned(BASE, 1024)) == [0]
+    assert list(lay.pages_spanned(BASE + 1000, 100)) == [0, 1]
+    assert list(lay.pages_spanned(BASE, 0)) == []
+    assert list(lay.pages_spanned(BASE + 2048, 3000)) == [2, 3, 4]
+
+
+def test_spans_covers_range_exactly():
+    lay = layout()
+    pieces = list(lay.spans(BASE + 1000, 2100))
+    # (page, page_offset, buffer_offset, length)
+    assert pieces == [(0, 1000, 0, 24), (1, 0, 24, 1024), (2, 0, 1048, 1024), (3, 0, 2072, 28)]
+    assert sum(p[3] for p in pieces) == 2100
+
+
+def test_out_of_range_rejected():
+    lay = layout()
+    with pytest.raises(ValueError):
+        lay.page_of(BASE - 1)
+    with pytest.raises(ValueError):
+        lay.check(BASE + 16 * 1024 - 10, 20)
+    with pytest.raises(ValueError):
+        lay.check(BASE, -1)
+
+
+def test_non_power_of_two_page_size_rejected():
+    with pytest.raises(ValueError):
+        AddressLayout(BASE, 1000 * 3, 1000)
+
+
+def test_partial_page_space_rejected():
+    with pytest.raises(ValueError):
+        AddressLayout(BASE, 1024 * 3 + 1, 1024)

@@ -1,0 +1,137 @@
+"""Unit tests for multicast (the invalidation transport pattern) and the
+NO_REPLY handler result."""
+
+import pytest
+
+from repro.net.remoteop import NO_REPLY, Reply
+from repro.sim.process import Compute
+
+from tests.net.conftest import NetRig
+
+
+def test_multicast_reaches_only_targets():
+    rig = NetRig(nnodes=5)
+    seen = []
+
+    def handler(n):
+        def h(origin, payload):
+            seen.append(n)
+            yield Compute(10)
+            return n
+
+        return h
+
+    for n in range(1, 5):
+        rig.ops[n].register("op", handler(n))
+
+    def client():
+        replies = yield from rig.ops[0].multicast((1, 3), "op", "x")
+        return replies
+
+    task = rig.spawn(client())
+    rig.run()
+    assert task.result == {1: 1, 3: 3}
+    assert sorted(seen) == [1, 3]  # 2 and 4 filtered the frame out
+    # One transmission on the ring, not one per target.
+    assert rig.ring.stats.broadcasts == 1
+
+
+def test_multicast_empty_target_set_is_noop():
+    rig = NetRig(nnodes=3)
+
+    def client():
+        replies = yield from rig.ops[0].multicast((), "op", None)
+        return replies
+
+    task = rig.spawn(client())
+    rig.run()
+    assert task.result == {}
+    assert rig.ring.stats.messages == 0
+
+
+def test_multicast_to_self_rejected():
+    rig = NetRig(nnodes=3)
+
+    def client():
+        yield from rig.ops[0].multicast((0, 1), "op", None)
+
+    rig.ops[1].register("op", lambda o, p: iter(()))
+    task = rig.spawn(client())
+    with pytest.raises(Exception):
+        rig.run()
+
+
+def test_multicast_recovers_from_loss():
+    rig = NetRig(nnodes=4, loss_rate=0.3, seed=99)
+    calls = []
+
+    def handler(n):
+        def h(origin, payload):
+            calls.append(n)
+            yield Compute(10)
+            return n * 2
+
+        return h
+
+    for n in (1, 2, 3):
+        rig.ops[n].register("op", handler(n))
+
+    def client():
+        replies = yield from rig.ops[0].multicast((1, 2, 3), "op", None)
+        return replies
+
+    task = rig.spawn(client())
+    rig.run()
+    assert task.result == {1: 2, 2: 4, 3: 6}
+    # At-most-once execution per target despite retransmitted broadcasts.
+    assert sorted(calls) == [1, 2, 3]
+
+
+def test_no_reply_keeps_any_broadcast_pending_until_a_responder():
+    """Nodes answering NO_REPLY stay silent and the request is forgotten,
+    so a later retransmission can be answered by a node whose state
+    changed — the broadcast-manager recovery path."""
+    rig = NetRig(nnodes=3)
+    for t in rig.transports:
+        t.config = t.config.replace(retransmit_timeout=2_000_000)
+    state = {"owner": None}
+
+    def handler(n):
+        def h(origin, payload):
+            yield Compute(10)
+            if state["owner"] == n:
+                return Reply(f"owner-{n}")
+            return NO_REPLY
+
+        return h
+
+    for n in (1, 2):
+        rig.ops[n].register("op", handler(n))
+
+    def client():
+        value = yield from rig.ops[0].broadcast("op", None, scheme="any")
+        return value
+
+    task = rig.spawn(client())
+    # Nobody owns at first; ownership appears before the retransmission.
+    rig.sim.schedule(1_000_000, lambda: state.update(owner=2))
+    rig.run()
+    assert task.result == "owner-2"
+    assert rig.transports[0].stats.retransmits >= 1
+
+
+def test_no_reply_to_unicast_is_a_bug():
+    rig = NetRig(nnodes=2)
+
+    def handler(origin, payload):
+        yield Compute(1)
+        return NO_REPLY
+
+    rig.ops[1].register("op", handler)
+
+    def client():
+        yield from rig.ops[0].request(1, "op", None)
+
+    rig.spawn(client())
+    with pytest.raises(Exception, match="NO_REPLY"):
+        rig.run()

@@ -1,0 +1,149 @@
+"""Unit tests for the transport's sticky forwarding — the dedup rule that
+keeps retransmitted fault requests on their original path.
+
+Rationale (see `Transport.forward`): a retransmitted duplicate must NOT
+be re-routed through the handler, because the first pass updated routing
+hints — including, under the dynamic manager, hints that point back at
+the (still blocked) origin.
+"""
+
+import pytest
+
+from repro.config import MILLISECOND
+from repro.net.remoteop import Forward, Reply
+from repro.sim.process import Compute
+
+from tests.net.conftest import NetRig
+
+
+def make_lossy_rig(loss_rate, seed=5, timeout_ms=5):
+    rig = NetRig(nnodes=4, loss_rate=loss_rate, seed=seed)
+    for t in rig.transports:
+        t.config = t.config.replace(retransmit_timeout=timeout_ms * MILLISECOND)
+    return rig
+
+
+def test_duplicate_of_forwarded_request_retraces_original_hop():
+    """Even if the forwarder's routing state changes after the first
+    pass, a duplicate is re-sent to the *recorded* destination."""
+    rig = NetRig(nnodes=4)
+    route = {"next": 2}
+    handled = []
+
+    def forwarder(origin, payload):
+        # Reads mutable routing state — a stand-in for probOwner hints.
+        return Forward(route["next"])
+        yield  # pragma: no cover
+
+    def executor_at(n):
+        def handler(origin, payload):
+            handled.append(n)
+            yield Compute(10)
+            return f"done-at-{n}"
+
+        return handler
+
+    rig.ops[1].register("op", forwarder)
+    rig.ops[2].register("op", executor_at(2))
+    rig.ops[3].register("op", executor_at(3))
+
+    def client():
+        value = yield from rig.ops[0].request(1, "op", None)
+        return value
+
+    task = rig.spawn(client())
+
+    # Once the first forward leaves node 1, poison the routing state; a
+    # duplicate must STILL go to node 2 (the recorded hop).
+    captured = []
+    original_send = rig.ring.send
+
+    def capturing_send(msg):
+        captured.append(msg)
+        if msg.src == 1 and msg.kind == "req":
+            route.update(next=3)
+        original_send(msg)
+
+    rig.ring.send = capturing_send
+
+    # Inject a duplicate of the original request at node 1 (as a lost-
+    # reply retransmission would).
+    def replay():
+        sent = [m for m in captured if m.kind == "req" and m.dst == 1]
+        if sent:
+            rig.transports[1]._on_message(sent[0])
+    rig.sim.schedule(5_000_000, replay)
+    rig.run()
+    assert task.result == "done-at-2"
+    assert handled == [2]  # the duplicate did not reach node 3
+
+
+def test_lost_forward_leg_recovered_by_origin_retransmission():
+    # Drop exactly the first forwarded message (node1 -> node2).
+    rig = make_lossy_rig(loss_rate=0.0)
+    dropped = {"count": 0}
+    original_send = rig.ring.send
+
+    def dropping_send(msg):
+        if msg.src == 1 and msg.dst == 2 and dropped["count"] == 0:
+            dropped["count"] += 1
+            rig.ring.stats.lost_frames += 1
+            return  # swallowed by the wire
+        original_send(msg)
+
+    rig.ring.send = dropping_send
+
+    def forwarder(origin, payload):
+        return Forward(2)
+        yield  # pragma: no cover
+
+    def executor(origin, payload):
+        yield Compute(10)
+        return "ok"
+
+    rig.ops[1].register("op", forwarder)
+    rig.ops[2].register("op", executor)
+
+    def client():
+        value = yield from rig.ops[0].request(1, "op", None)
+        return value
+
+    task = rig.spawn(client())
+    rig.run()
+    assert task.result == "ok"
+    assert dropped["count"] == 1
+    assert rig.transports[0].stats.retransmits >= 1
+
+
+def test_forwarding_chain_under_heavy_loss_terminates_correctly():
+    rig = make_lossy_rig(loss_rate=0.35, seed=11)
+    executions = []
+
+    def fwd(nxt):
+        def handler(origin, payload):
+            return Forward(nxt)
+            yield  # pragma: no cover
+
+        return handler
+
+    def executor(origin, payload):
+        executions.append(payload)
+        yield Compute(10)
+        return payload * 2
+
+    rig.ops[1].register("op", fwd(2))
+    rig.ops[2].register("op", fwd(3))
+    rig.ops[3].register("op", executor)
+
+    def client():
+        out = []
+        for i in range(10):
+            value = yield from rig.ops[0].request(1, "op", i)
+            out.append(value)
+        return out
+
+    task = rig.spawn(client())
+    rig.run()
+    assert task.result == [i * 2 for i in range(10)]
+    # At-most-once execution despite the drops and re-forwards.
+    assert executions == list(range(10))

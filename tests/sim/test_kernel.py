@@ -1,0 +1,113 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import DeadlockError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30, order.append, "c")
+    sim.schedule(10, order.append, "a")
+    sim.schedule(20, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_ties_break_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.schedule(5, order.append, tag)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_clock_advances_monotonically():
+    sim = Simulator()
+    stamps = []
+    sim.schedule(10, lambda: stamps.append(sim.now))
+    sim.schedule(10, lambda: sim.schedule(0, lambda: stamps.append(sim.now)))
+    sim.schedule(25, lambda: stamps.append(sim.now))
+    sim.run()
+    assert stamps == [10, 10, 25]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_cancel_handle_suppresses_event():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(10, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_run_until_stops_clock_and_preserves_future_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "early")
+    sim.schedule(100, fired.append, "late")
+    sim.run(until=50)
+    assert fired == ["early"]
+    assert sim.now == 50
+    sim.run()
+    assert fired == ["early", "late"]
+    assert sim.now == 100
+
+
+def test_nested_scheduling_from_callbacks():
+    sim = Simulator()
+    hits = []
+
+    def outer():
+        hits.append(("outer", sim.now))
+        sim.schedule(7, inner)
+
+    def inner():
+        hits.append(("inner", sim.now))
+
+    sim.schedule(3, outer)
+    sim.run()
+    assert hits == [("outer", 3), ("inner", 10)]
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_deadlock_detection_reports_blocked_tasks():
+    sim = Simulator()
+
+    class Stuck:
+        is_blocked = True
+
+        def __str__(self):
+            return "stuck-task"
+
+    sim.watch(Stuck())
+    sim.schedule(1, lambda: None)
+    with pytest.raises(DeadlockError, match="stuck-task"):
+        sim.run()
+
+
+def test_no_deadlock_when_watched_tasks_unblocked():
+    sim = Simulator()
+
+    class Fine:
+        is_blocked = False
+
+    sim.watch(Fine())
+    sim.schedule(1, lambda: None)
+    assert sim.run() == 1

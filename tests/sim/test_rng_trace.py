@@ -1,0 +1,82 @@
+"""Unit tests for seeded RNG streams and the trace recorder."""
+
+from repro.sim.rng import RngStreams
+from repro.sim.trace import NULL_TRACE, TraceRecorder
+
+
+def test_streams_are_deterministic_per_seed_and_name():
+    a = RngStreams(42).stream("ring").random(5).tolist()
+    b = RngStreams(42).stream("ring").random(5).tolist()
+    assert a == b
+
+
+def test_streams_differ_across_names_and_seeds():
+    r = RngStreams(42)
+    assert r.stream("ring").random(3).tolist() != r.stream("pager-0").random(3).tolist()
+    assert (
+        RngStreams(42).stream("ring").random(3).tolist()
+        != RngStreams(43).stream("ring").random(3).tolist()
+    )
+
+
+def test_stream_creation_order_does_not_matter():
+    r1 = RngStreams(7)
+    first_a = r1.stream("a").random(3).tolist()
+    r2 = RngStreams(7)
+    r2.stream("b")  # created before "a" this time
+    assert r2.stream("a").random(3).tolist() == first_a
+
+
+def test_stream_is_cached():
+    r = RngStreams(1)
+    assert r.stream("x") is r.stream("x")
+
+
+def test_trace_records_and_selects():
+    trace = TraceRecorder()
+    now = [0]
+    trace.bind_clock(lambda: now[0])
+    trace.emit("cat", a=1)
+    now[0] = 10
+    trace.emit("cat", a=2)
+    trace.emit("other", b=3)
+    assert trace.count("cat") == 2
+    assert trace.count("cat", a=2) == 1
+    assert trace.select("cat", a=2)[0].time == 10
+    assert trace.select("cat")[0]["a"] == 1
+    assert len(list(trace)) == 3
+
+
+def test_trace_category_filter():
+    trace = TraceRecorder(categories={"keep"})
+    trace.emit("keep", x=1)
+    trace.emit("drop", x=2)
+    assert trace.count("keep") == 1
+    assert trace.count("drop") == 0
+
+
+def test_null_trace_is_falsy_and_silent():
+    assert not NULL_TRACE
+    NULL_TRACE.emit("anything", x=1)
+    assert NULL_TRACE.events == []
+
+
+def test_cluster_trace_integration():
+    """A traced cluster records protocol events with simulated times."""
+    from repro.api.cluster import Cluster
+    from repro.config import ClusterConfig
+
+    trace = TraceRecorder()
+    cluster = Cluster(ClusterConfig(nodes=2), trace=trace)
+    addr = cluster.config.svm.shared_base
+
+    def writer():
+        yield from cluster.node(1).mem.write_i64(addr, 5)
+
+    task = cluster.spawn_system(writer(), "w")
+    cluster.run()
+    assert task.error is None
+    faults = trace.select("svm.write_fault", node=1)
+    assert len(faults) == 1
+    assert faults[0].time > 0
+    assert trace.count("ring.send") > 0

@@ -1,0 +1,108 @@
+"""Unit tests for simulation-level locks, gates and wait queues."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import Compute, SimDriver
+from repro.sim.sync import Gate, SimLock, WaitQueue
+
+
+def make():
+    sim = Simulator()
+    return sim, SimDriver(sim)
+
+
+def test_lock_mutual_exclusion_and_fifo_order():
+    sim, driver = make()
+    lock = SimLock()
+    order = []
+
+    def job(tag):
+        yield from lock.acquire()
+        order.append((tag, "in", sim.now))
+        yield Compute(10)
+        order.append((tag, "out", sim.now))
+        lock.release()
+
+    for tag in ("a", "b", "c"):
+        driver.spawn(job(tag), tag)
+    sim.run()
+    # Critical sections never overlap and are entered in arrival order.
+    assert order == [
+        ("a", "in", 0),
+        ("a", "out", 10),
+        ("b", "in", 10),
+        ("b", "out", 20),
+        ("c", "in", 20),
+        ("c", "out", 30),
+    ]
+
+
+def test_try_acquire():
+    lock = SimLock()
+    assert lock.try_acquire()
+    assert not lock.try_acquire()
+    lock.release()
+    assert lock.try_acquire()
+
+
+def test_release_of_unheld_lock_raises():
+    with pytest.raises(RuntimeError):
+        SimLock().release()
+
+
+def test_gate_wait_then_post():
+    sim, driver = make()
+    gate = Gate()
+
+    def waiter():
+        value = yield from gate.wait()
+        return value
+
+    task = driver.spawn(waiter(), "w")
+    sim.schedule(5, gate.post, "reply")
+    sim.run()
+    assert task.result == "reply"
+
+
+def test_gate_post_before_wait_returns_immediately():
+    sim, driver = make()
+    gate = Gate()
+    gate.post(99)
+
+    def waiter():
+        value = yield from gate.wait()
+        return value
+
+    task = driver.spawn(waiter(), "w")
+    sim.run()
+    assert task.result == 99
+    assert sim.now == 0
+
+
+def test_gate_double_post_rejected():
+    gate = Gate()
+    gate.post(1)
+    with pytest.raises(RuntimeError):
+        gate.post(2)
+
+
+def test_wait_queue_wake_all_and_one():
+    sim, driver = make()
+    wq = WaitQueue()
+    woken = []
+
+    def waiter(tag):
+        value = yield from wq.wait()
+        woken.append((tag, value))
+
+    for tag in ("a", "b", "c"):
+        driver.spawn(waiter(tag), tag)
+    sim.schedule(1, wq.wake_one, "first")
+    sim.schedule(2, wq.wake_all, "rest")
+    sim.run()
+    assert woken == [("a", "first"), ("b", "rest"), ("c", "rest")]
+
+
+def test_wait_queue_wake_one_empty_returns_false():
+    assert WaitQueue().wake_one() is False

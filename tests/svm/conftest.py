@@ -1,0 +1,36 @@
+"""Fixtures for SVM tests: small clusters under each coherence algorithm."""
+
+import pytest
+
+from repro.api.cluster import Cluster
+from repro.config import ClusterConfig
+
+ALGORITHMS = ("centralized", "fixed", "dynamic", "broadcast")
+
+
+def make_cluster(nodes=3, algorithm="dynamic", page_size=256, frames=None, **extra):
+    config = (
+        ClusterConfig(nodes=nodes)
+        .with_svm(algorithm=algorithm, page_size=page_size, shared_size=page_size * 4096)
+        .with_memory(frames=frames)
+    )
+    for key, value in extra.items():
+        config = config.replace(**{key: value})
+    return Cluster(config)
+
+
+@pytest.fixture(params=ALGORITHMS)
+def algorithm(request):
+    return request.param
+
+
+def run_task(cluster, gen, name="t"):
+    task = cluster.spawn_system(gen, name)
+    cluster.run()
+    if task.error is not None:
+        raise task.error
+    return task.result
+
+
+def base(cluster):
+    return cluster.config.svm.shared_base

@@ -1,0 +1,155 @@
+"""SVM + pager interaction: bounded frames, disk traffic, owner page-outs.
+
+These behaviours are what produce the paper's Figure 4 (super-linear
+speedup from aggregated physical memory) and Table 1 (disk transfers).
+"""
+
+import numpy as np
+
+from tests.svm.conftest import base, make_cluster, run_task
+
+PAGE = 256
+
+
+def test_working_set_larger_than_memory_thrashes_disk():
+    cluster = make_cluster(nodes=1, algorithm="dynamic", page_size=PAGE, frames=4)
+    node = cluster.node(0)
+    naddr = base(cluster)
+
+    def job():
+        # Touch 12 pages round-robin twice: must page in/out repeatedly.
+        for sweep in range(2):
+            for p in range(12):
+                yield from node.mem.write_i64(naddr + p * PAGE, sweep * 100 + p)
+
+    run_task(cluster, job(), "thrash")
+    assert node.counters["disk_writes"] > 0
+    assert node.counters["disk_reads"] > 0
+    assert node.counters["evictions"] >= 8
+
+    def check():
+        values = []
+        for p in range(12):
+            v = yield from node.mem.read_i64(naddr + p * PAGE)
+            values.append(v)
+        return values
+
+    assert run_task(cluster, check(), "check") == [100 + p for p in range(12)]
+
+
+def test_data_spreads_across_cluster_memories():
+    """With two nodes, pages migrate to the accessing node and the
+    aggregate memory holds the working set without further disk traffic."""
+    cluster = make_cluster(nodes=2, algorithm="dynamic", page_size=PAGE, frames=8)
+    addr = base(cluster)
+    npages = 12
+
+    def init():
+        for p in range(npages):
+            yield from cluster.node(0).mem.write_i64(addr + p * PAGE, p)
+
+    run_task(cluster, init(), "init")
+    # Node 0 alone cannot hold 12 pages: it paged to disk.
+    assert cluster.node(0).counters["disk_writes"] > 0
+
+    def consumer():
+        total = 0
+        for p in range(6, npages):  # node 1 takes *ownership* of half
+            v = yield from cluster.node(1).mem.read_i64(addr + p * PAGE)
+            yield from cluster.node(1).mem.write_i64(addr + p * PAGE, v)
+            total += v
+        return total
+
+    assert run_task(cluster, consumer(), "consume") == sum(range(6, npages))
+
+    def steady():
+        # Each node re-reads its half: everything is resident, no disk IO.
+        for p in range(6):
+            yield from cluster.node(0).mem.read_i64(addr + p * PAGE)
+        for p in range(6, npages):
+            yield from cluster.node(1).mem.read_i64(addr + p * PAGE)
+
+    run_task(cluster, steady(), "warmup")  # faults the stragglers back in
+    disk = lambda n: (
+        cluster.node(n).counters["disk_reads"] + cluster.node(n).counters["disk_writes"]
+    )
+    before = disk(0) + disk(1)
+    run_task(cluster, steady(), "steady")
+    after = disk(0) + disk(1)
+    assert after == before, "steady-state reads must not touch the disk"
+
+
+def test_owner_serves_page_from_disk():
+    cluster = make_cluster(nodes=2, algorithm="dynamic", page_size=PAGE, frames=4)
+    addr = base(cluster)
+
+    def init():
+        for p in range(8):  # overflow node 0's 4 frames
+            yield from cluster.node(0).mem.write_i64(addr + p * PAGE, 7000 + p)
+
+    run_task(cluster, init(), "init")
+
+    def remote_read():
+        # Page 0 was evicted to node 0's disk; node 1's fault makes the
+        # owner page it back in before replying.
+        v = yield from cluster.node(1).mem.read_i64(addr)
+        return v
+
+    reads_before = cluster.node(0).counters["disk_reads"]
+    assert run_task(cluster, remote_read(), "rr") == 7000
+    assert cluster.node(0).counters["disk_reads"] == reads_before + 1
+
+
+def test_read_copy_eviction_is_silent():
+    cluster = make_cluster(nodes=2, algorithm="dynamic", page_size=PAGE, frames=4)
+    addr = base(cluster)
+
+    def init():
+        for p in range(4):
+            yield from cluster.node(0).mem.write_i64(addr + p * PAGE, p)
+
+    run_task(cluster, init(), "init")
+
+    def reader():
+        # Node 1 reads copies of 4 owned pages, then 4 fresh pages it
+        # will own; the copies get dropped without disk traffic.
+        for p in range(4):
+            yield from cluster.node(1).mem.read_i64(addr + p * PAGE)
+        for p in range(4, 8):
+            yield from cluster.node(1).mem.write_i64(addr + p * PAGE, p)
+
+    run_task(cluster, reader(), "reader")
+    assert cluster.node(1).counters["copy_drops"] > 0
+    assert cluster.node(1).counters["disk_writes"] == 0
+
+    def reread():
+        v = yield from cluster.node(1).mem.read_i64(addr)
+        return v
+
+    assert run_task(cluster, reread(), "reread") == 0
+
+
+def test_ownership_transfer_discards_stale_disk_image():
+    cluster = make_cluster(nodes=2, algorithm="dynamic", page_size=PAGE, frames=4)
+    addr = base(cluster)
+
+    def init():
+        for p in range(8):
+            yield from cluster.node(0).mem.write_i64(addr + p * PAGE, p)
+
+    run_task(cluster, init(), "init")
+    assert cluster.node(0).disk.holds(0)
+
+    def take():
+        yield from cluster.node(1).mem.write_i64(addr, 999)
+
+    run_task(cluster, take(), "take")
+    # Node 0 no longer owns page 0: its disk image must be gone so a
+    # stale copy can never resurface.
+    assert not cluster.node(0).disk.holds(0)
+
+    def reread():
+        v = yield from cluster.node(0).mem.read_i64(addr)
+        return v
+
+    assert run_task(cluster, reread(), "rr") == 999

