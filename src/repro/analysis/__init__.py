@@ -1,0 +1,35 @@
+"""Online correctness checking for the shared virtual memory.
+
+``repro.analysis`` is an opt-in, TSan-style dynamic checker that shadows
+the live simulation (enable with ``ClusterConfig.checker = True``):
+
+- :mod:`repro.analysis.oracle` — a coherence oracle that subscribes to
+  every protocol transition and asserts Li & Hudak's invariants (single
+  writer / multiple readers, one owner per page, copy-set soundness,
+  invalidation-epoch monotonicity, probable-owner chain termination,
+  and data coherence of served page images);
+- :mod:`repro.analysis.racedetect` — a vector-clock happens-before race
+  detector over application-level shared-memory accesses and the IVY
+  synchronisation primitives;
+- :mod:`repro.analysis.replay` — an offline checker that replays a
+  recorded :class:`repro.sim.trace.TraceRecorder` stream
+  (``python -m repro.analysis replay trace.jsonl``).
+
+Checking is pure observation: no checker ever yields a simulation
+effect, so enabling it cannot change simulated times or event counts.
+A violated invariant raises :class:`InvariantViolation` carrying the
+recent event history of the offending page.
+"""
+
+from repro.analysis.oracle import CoherenceOracle, ShadowMachine
+from repro.analysis.racedetect import RaceDetector, RaceReport, TrackedMemory
+from repro.analysis.violation import InvariantViolation
+
+__all__ = [
+    "CoherenceOracle",
+    "InvariantViolation",
+    "RaceDetector",
+    "RaceReport",
+    "ShadowMachine",
+    "TrackedMemory",
+]

@@ -1,0 +1,117 @@
+"""Command-line entry points for the dynamic checkers.
+
+::
+
+    # Post-mortem: check a recorded protocol trace offline.
+    python -m repro.analysis replay trace.jsonl
+
+    # Online: run a benchmark under the full checker (oracle + race
+    # detector), optionally recording the protocol trace for replay.
+    python -m repro.analysis run --app jacobi --algorithm dynamic \
+        --nodes 4 --trace trace.jsonl
+
+Exit status is non-zero when any invariant violation (or, for ``run``,
+an unexpected benchmark result) is found, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any
+
+from repro.analysis.replay import SVM_CATEGORIES, replay_file, summarize
+from repro.config import ClusterConfig
+from repro.metrics.collect import VIOLATION_PREFIX
+
+
+def _build_app(name: str, nprocs: int) -> Any:
+    # Sizes are scaled down from the paper's: the checker multiplies the
+    # per-access work, and a violation in a small run is a violation.
+    if name == "dotprod":
+        from repro.apps.dotprod import DotProductApp
+
+        return DotProductApp(nprocs, n=4096)
+    if name == "jacobi":
+        from repro.apps.jacobi import JacobiApp
+
+        return JacobiApp(nprocs, n=48, iters=3)
+    if name == "tsp":
+        from repro.apps.tsp import TspApp
+
+        return TspApp(nprocs, ncities=8)
+    raise SystemExit(f"unknown app {name!r} (expected dotprod, jacobi or tsp)")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api.ivy import Ivy
+    from repro.sim.trace import TraceRecorder
+
+    config = ClusterConfig(nodes=args.nodes, checker=True).with_svm(
+        algorithm=args.algorithm
+    )
+    trace = TraceRecorder(categories=set(SVM_CATEGORIES))
+    ivy = Ivy(config, trace=trace)
+    app = _build_app(args.app, args.nodes)
+    result = ivy.run(app.main)
+    app.check(result)
+
+    counters = ivy.cluster.total_counters()
+    violations = counters.violations()
+    oracle = ivy.cluster.oracle
+    races = ivy.races.races if ivy.races is not None else []
+    print(
+        f"{args.app} on {args.nodes} nodes ({args.algorithm}): result ok, "
+        f"{oracle.checks_run if oracle else 0} oracle checks, "
+        f"{len(trace.events)} protocol events"
+    )
+    for rule, count in sorted(violations.items()):
+        print(f"  {VIOLATION_PREFIX}{rule}: {count}")
+    for race in races:
+        print(race.format())
+    if args.trace:
+        count = trace.save(args.trace)
+        print(f"saved {count} events to {args.trace}")
+    # Benign application-level races (TSP's optimistic best-bound read)
+    # are findings about the *program*; only coherence violations mean
+    # the *memory* broke.
+    coherence = {k: v for k, v in violations.items() if k != "race"}
+    return 1 if coherence else 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    try:
+        machine = replay_file(args.trace)
+    except FileNotFoundError:
+        raise SystemExit(f"no such trace file: {args.trace}")
+    print(summarize(machine))
+    return 1 if machine.violations else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="dynamic correctness checkers for the SVM simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a benchmark under the checkers")
+    run.add_argument("--app", default="jacobi", help="dotprod | jacobi | tsp")
+    run.add_argument(
+        "--algorithm", default="dynamic",
+        help="centralized | fixed | dynamic | broadcast",
+    )
+    run.add_argument("--nodes", type=int, default=4)
+    run.add_argument("--trace", default="", help="save the protocol trace (JSONL)")
+    run.set_defaults(func=_cmd_run)
+
+    replay = sub.add_parser("replay", help="check a recorded trace offline")
+    replay.add_argument("trace", help="JSONL file written by TraceRecorder.save")
+    replay.set_defaults(func=_cmd_replay)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

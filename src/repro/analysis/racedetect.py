@@ -1,0 +1,346 @@
+"""Vector-clock happens-before race detection for IVY programs.
+
+Sequential consistency (the paper's "the value returned by a read ...
+is the value written by the latest write") makes shared memory *look*
+like one memory, but it does not order application accesses: two
+processes touching the same word without synchronisation are still a
+data race, and their outcome depends on fault-arrival interleavings.
+:class:`RaceDetector` finds such accesses the way TSan/FastTrack do,
+adapted to IVY's primitives:
+
+happens-before edges
+    - ``atomic_update`` sections on the same record address form a
+      release/acquire chain.  The edge is taken *inside* the wrapped
+      mutator, while the page's table-entry lock is held, so the
+      detector's order is exactly the cluster-wide execution order —
+      hooking at call time instead would reorder edges across the
+      fault-handling yields and fabricate races.
+    - Remote notification: ``resume``/``resume_async`` publishes the
+      waker's clock; the parked process joins it when ``park`` returns.
+      This covers lock hand-off, eventcount wake-ups and barriers.
+    - ``spawn``: the child starts with the parent's clock.  The clock is
+      carried inside the spawn payload because a remotely spawned child
+      can start running before the spawn reply reaches the parent.
+
+shadow memory
+    Aligned 8-byte words (every IVY synchronisation field and both
+    benchmark element types are int64/float64).  Per word: the last
+    write epoch and the read epochs since that write, FastTrack-style.
+    Words covered by an ``atomic_update`` are classified as
+    synchronisation state and exempt from data-race checking (e.g.
+    ``Read(ec)`` intentionally reads the count without the record lock).
+
+Races are *recorded*, not raised — a racy program is a finding, not a
+checker failure.  Each :class:`RaceReport` carries both access epochs
+and the most recent synchronisation operations for diagnosis; every
+report also bumps the ``violation.race`` counter on the node that
+performed the later access.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Generator
+
+import numpy as np
+
+from repro.proc.pcb import Pid
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.cluster import Cluster
+    from repro.svm.address_space import SharedAddressSpace
+
+__all__ = ["RaceDetector", "RaceReport", "TrackedMemory"]
+
+#: Shadow-memory granularity: aligned 8-byte words.
+WORD = 8
+
+#: How many recent synchronisation operations a report carries.
+SYNC_LOG_WINDOW = 16
+
+VectorClock = dict[Pid, int]
+
+
+@dataclass
+class RaceReport:
+    """One unsynchronised pair of accesses to the same shared word."""
+
+    kind: str  # "write-write" | "read-write" | "write-read"
+    addr: int  # word-aligned shared virtual address
+    time: int  # simulated time of the later access
+    accessor: Pid  # the process making the later access
+    other: Pid  # the process whose earlier access it races with
+    other_epoch: int  # the earlier access's clock component
+    sync_log: list[tuple[int, str, int, Pid]] = field(default_factory=list)
+
+    def format(self) -> str:
+        head = (
+            f"[race:{self.kind}] word {self.addr:#x}: {self.accessor} at "
+            f"t={self.time} races with {self.other}@{self.other_epoch}"
+        )
+        lines = [head]
+        if self.sync_log:
+            lines.append("  recent synchronisation operations:")
+            for time, op, addr, pid in self.sync_log:
+                lines.append(f"    t={time} {op} addr={addr:#x} by {pid}")
+        return "\n".join(lines)
+
+
+class RaceDetector:
+    """Cluster-wide happens-before tracker (one per checker-enabled run)."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+        self.clocks: dict[Pid, VectorClock] = {}
+        #: Last released clock per atomic_update record address.
+        self.sync_clocks: dict[int, VectorClock] = {}
+        #: Clocks published by resume() and waiting for the target's park
+        #: to return.
+        self.pending_wakes: dict[Pid, list[VectorClock]] = {}
+        #: word -> (writer, writer-epoch) of the last write.
+        self.write_shadow: dict[int, tuple[Pid, int]] = {}
+        #: word -> reader epochs since the last write.
+        self.read_shadow: dict[int, dict[Pid, int]] = {}
+        #: Words inside atomic_update records (synchronisation state).
+        self.sync_words: set[int] = set()
+        self.races: list[RaceReport] = []
+        self._reported: set[tuple[str, int, Pid, Pid]] = set()
+        self.sync_log: deque[tuple[int, str, int, Pid]] = deque(
+            maxlen=SYNC_LOG_WINDOW
+        )
+
+    # ------------------------------------------------------------------
+    # vector-clock plumbing
+
+    def clock(self, pid: Pid) -> VectorClock:
+        vc = self.clocks.get(pid)
+        if vc is None:
+            vc = {pid: 1}
+            self.clocks[pid] = vc
+        return vc
+
+    def capture(self, pid: Pid) -> VectorClock:
+        """A snapshot of ``pid``'s clock (for spawn payloads)."""
+        return dict(self.clock(pid))
+
+    def _tick(self, pid: Pid) -> None:
+        vc = self.clock(pid)
+        vc[pid] = vc.get(pid, 0) + 1
+
+    @staticmethod
+    def _join(into: VectorClock, other: VectorClock) -> None:
+        for pid, component in other.items():
+            if component > into.get(pid, 0):
+                into[pid] = component
+
+    # ------------------------------------------------------------------
+    # happens-before edges
+
+    def fork(self, parent: Pid) -> VectorClock:
+        """Snapshot the parent's clock for a spawn and advance the parent
+        (later parent accesses are concurrent with the child)."""
+        snapshot = self.capture(parent)
+        self._tick(parent)
+        return snapshot
+
+    def on_spawn(self, child: Pid, parent_clock: VectorClock) -> None:
+        """The child inherits everything that happened before the spawn."""
+        vc = dict(parent_clock)
+        vc[child] = vc.get(child, 0) + 1
+        self.clocks[child] = vc
+
+    def on_acquire(self, pid: Pid, addr: int) -> None:
+        """Entering an atomic section: join the last releaser's clock."""
+        published = self.sync_clocks.get(addr)
+        if published is not None:
+            self._join(self.clock(pid), published)
+
+    def on_release(self, pid: Pid, addr: int) -> None:
+        """Leaving an atomic section: publish our clock on the record."""
+        self.sync_clocks[addr] = self.capture(pid)
+        self._tick(pid)
+
+    def on_resume(self, src: Pid, dst: Pid) -> None:
+        """A wake-up notification carries the waker's clock to ``dst``."""
+        self.pending_wakes.setdefault(dst, []).append(self.capture(src))
+        self._tick(src)
+
+    def on_wake(self, pid: Pid) -> None:
+        """``park`` returned: join every clock published at this process."""
+        for published in self.pending_wakes.pop(pid, ()):
+            self._join(self.clock(pid), published)
+
+    def note_sync_op(self, op: str, addr: int, pid: Pid) -> None:
+        """Record a synchronisation call for race-report context."""
+        self.sync_log.append((self.cluster.sim.now, op, addr, pid))
+
+    def register_sync_range(self, addr: int, nbytes: int) -> None:
+        """Classify an atomic_update record's words as synchronisation
+        state: they are ordered by the record's own release/acquire chain
+        and exempt from data-race checking."""
+        start = addr & ~(WORD - 1)
+        for word in range(start, addr + nbytes, WORD):
+            if word not in self.sync_words:
+                self.sync_words.add(word)
+                self.write_shadow.pop(word, None)
+                self.read_shadow.pop(word, None)
+
+    # ------------------------------------------------------------------
+    # data accesses
+
+    def on_access(
+        self, pid: Pid, addr: int, nbytes: int, *, write: bool, node_id: int
+    ) -> None:
+        """Check one application access against the shadow memory."""
+        if nbytes <= 0:
+            return
+        vc = self.clock(pid)
+        own = vc[pid]
+        write_shadow = self.write_shadow
+        read_shadow = self.read_shadow
+        sync_words = self.sync_words
+        for word in range((addr & ~(WORD - 1)), addr + nbytes, WORD):
+            if word in sync_words:
+                continue
+            last = write_shadow.get(word)
+            if last is not None:
+                wpid, wepoch = last
+                if wpid != pid and wepoch > vc.get(wpid, 0):
+                    kind = "write-write" if write else "write-read"
+                    self._report(kind, word, pid, wpid, wepoch, node_id)
+            if write:
+                readers = read_shadow.pop(word, None)
+                if readers:
+                    for rpid, repoch in readers.items():
+                        if rpid != pid and repoch > vc.get(rpid, 0):
+                            self._report(
+                                "read-write", word, pid, rpid, repoch, node_id
+                            )
+                write_shadow[word] = (pid, own)
+            else:
+                readers = read_shadow.get(word)
+                if readers is None:
+                    read_shadow[word] = {pid: own}
+                else:
+                    readers[pid] = own
+
+    def _report(
+        self, kind: str, word: int, accessor: Pid, other: Pid,
+        other_epoch: int, node_id: int,
+    ) -> None:
+        key = (kind, word, accessor, other)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        report = RaceReport(
+            kind=kind,
+            addr=word,
+            time=self.cluster.sim.now,
+            accessor=accessor,
+            other=other,
+            other_epoch=other_epoch,
+            sync_log=list(self.sync_log),
+        )
+        self.races.append(report)
+        self.cluster.nodes[node_id].counters.inc("violation.race")
+
+
+class TrackedMemory:
+    """A :class:`~repro.svm.address_space.SharedAddressSpace` proxy that
+    reports application accesses to the race detector.
+
+    One proxy exists per (process, node) pair —
+    :attr:`repro.api.ivy.IvyProcessContext.mem` hands it out in place of
+    the raw address space, so applications and synchronisation
+    primitives are instrumented without changing a line of their code.
+    Accesses are recorded when the accessor generator is *created*,
+    which the caller immediately drives; the recording therefore falls
+    between the same synchronisation operations as the access itself.
+    """
+
+    def __init__(
+        self,
+        inner: "SharedAddressSpace",
+        detector: RaceDetector,
+        pid: Pid,
+        node_id: int,
+    ) -> None:
+        self._inner = inner
+        self._detector = detector
+        self._pid = pid
+        self._node_id = node_id
+
+    def __getattr__(self, name: str) -> Any:
+        # layout, counters, protocol, ... — anything not instrumented.
+        return getattr(self._inner, name)
+
+    # -- reads ----------------------------------------------------------
+
+    def _track(self, addr: int, nbytes: int, write: bool) -> None:
+        self._detector.on_access(
+            self._pid, addr, nbytes, write=write, node_id=self._node_id
+        )
+
+    def read_bytes(self, addr: int, nbytes: int) -> Generator[Any, Any, Any]:
+        self._track(addr, nbytes, False)
+        return self._inner.read_bytes(addr, nbytes)
+
+    def read_array(self, addr: int, dtype: Any, count: int) -> Generator[Any, Any, Any]:
+        self._track(addr, np.dtype(dtype).itemsize * count, False)
+        return self._inner.read_array(addr, dtype, count)
+
+    def fetch_array(self, addr: int, dtype: Any, count: int) -> Generator[Any, Any, Any]:
+        self._track(addr, np.dtype(dtype).itemsize * count, False)
+        return self._inner.fetch_array(addr, dtype, count)
+
+    def read_f64(self, addr: int) -> Generator[Any, Any, Any]:
+        self._track(addr, 8, False)
+        return self._inner.read_f64(addr)
+
+    def read_i64(self, addr: int) -> Generator[Any, Any, Any]:
+        self._track(addr, 8, False)
+        return self._inner.read_i64(addr)
+
+    # -- writes ---------------------------------------------------------
+
+    def write_bytes(self, addr: int, data: Any) -> Generator[Any, Any, Any]:
+        self._track(addr, len(data), True)
+        return self._inner.write_bytes(addr, data)
+
+    def write_array(self, addr: int, values: Any) -> Generator[Any, Any, Any]:
+        self._track(addr, np.asarray(values).nbytes, True)
+        return self._inner.write_array(addr, values)
+
+    def store_array(self, addr: int, values: Any) -> Generator[Any, Any, Any]:
+        self._track(addr, np.asarray(values).nbytes, True)
+        return self._inner.store_array(addr, values)
+
+    def write_f64(self, addr: int, value: float) -> Generator[Any, Any, Any]:
+        self._track(addr, 8, True)
+        return self._inner.write_f64(addr, value)
+
+    def write_i64(self, addr: int, value: int) -> Generator[Any, Any, Any]:
+        self._track(addr, 8, True)
+        return self._inner.write_i64(addr, value)
+
+    # -- synchronisation ------------------------------------------------
+
+    def atomic_update(
+        self, addr: int, nbytes: int, fn: Callable[[np.ndarray], Any]
+    ) -> Generator[Any, Any, Any]:
+        """Wrap the mutator so the release/acquire edge is taken while
+        the page's entry lock is held — the only point where the
+        detector's edge order provably matches execution order."""
+        detector = self._detector
+        pid = self._pid
+        detector.register_sync_range(addr, nbytes)
+
+        def ordered(view: np.ndarray) -> Any:
+            detector.on_acquire(pid, addr)
+            try:
+                return fn(view)
+            finally:
+                detector.on_release(pid, addr)
+
+        return self._inner.atomic_update(addr, nbytes, ordered)

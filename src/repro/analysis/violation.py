@@ -1,0 +1,63 @@
+"""Structured violation reports raised by the coherence oracle."""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["InvariantViolation"]
+
+
+class InvariantViolation(AssertionError):
+    """A coherence-protocol invariant was violated.
+
+    Subclassing :class:`AssertionError` keeps the oracle compatible with
+    the quiescence checks tests already rely on
+    (:meth:`repro.api.cluster.Cluster.check_coherence_invariants`), while
+    carrying structured context: the violated rule, the page and node
+    involved, and the recent protocol-event history of that page.
+    """
+
+    def __init__(
+        self,
+        rule: str,
+        detail: str,
+        *,
+        page: int | None = None,
+        node: int | None = None,
+        time: int | None = None,
+        history: list[tuple[int, str, dict[str, Any]]] | None = None,
+        state: dict[int, dict[str, Any]] | None = None,
+    ) -> None:
+        self.rule = rule
+        self.detail = detail
+        self.page = page
+        self.node = node
+        self.time = time
+        #: Most recent ``(time, category, fields)`` protocol events for
+        #: the offending page, oldest first.
+        self.history = history or []
+        #: Per-node page-table-entry snapshots for the offending page.
+        self.state = state or {}
+        super().__init__(self.format())
+
+    def format(self) -> str:
+        where = []
+        if self.page is not None:
+            where.append(f"page {self.page}")
+        if self.node is not None:
+            where.append(f"node {self.node}")
+        if self.time is not None:
+            where.append(f"t={self.time}")
+        head = f"[{self.rule}] {self.detail}"
+        if where:
+            head += f" ({', '.join(where)})"
+        lines = [head]
+        if self.state:
+            lines.append("  entry state:")
+            for node_id in sorted(self.state):
+                lines.append(f"    node {node_id}: {self.state[node_id]}")
+        if self.history:
+            lines.append(f"  last {len(self.history)} events on this page:")
+            for time, category, fields in self.history:
+                lines.append(f"    t={time} {category} {fields}")
+        return "\n".join(lines)

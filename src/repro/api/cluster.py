@@ -16,7 +16,7 @@ processes, synchronisation and allocation on top.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Iterable
+from typing import Any, Generator
 
 from repro.config import ClusterConfig
 from repro.machine.disk import Disk
@@ -104,6 +104,23 @@ class Cluster:
             self.sim, config.ring, config.nodes, self.rngs.stream("ring"), trace
         )
         self.nodes = [NodeContext(self, n) for n in range(config.nodes)]
+        #: Online coherence oracle (set when ``config.checker`` is on).
+        self.oracle: Any = None
+        if config.checker:
+            from repro.analysis.oracle import CoherenceOracle
+
+            self.oracle = CoherenceOracle(self)
+            for node in self.nodes:
+                node.protocol.checker = self.oracle
+        if trace:
+            trace.emit(
+                "cluster.boot",
+                nodes=config.nodes,
+                manager=config.svm.manager_node,
+                algorithm=config.svm.algorithm,
+                write_policy=config.svm.write_policy,
+                page_size=config.svm.page_size,
+            )
 
     # ------------------------------------------------------------------
 

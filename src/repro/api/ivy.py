@@ -24,8 +24,6 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator
 
-import numpy as np
-
 from repro.alloc.firstfit import CentralAllocator
 from repro.alloc.twolevel import TwoLevelAllocator
 from repro.api.cluster import Cluster, NodeContext
@@ -53,6 +51,13 @@ class Ivy:
     def __init__(self, config: ClusterConfig, trace: TraceRecorder = NULL_TRACE) -> None:
         self.config = config
         self.cluster = Cluster(config, trace)
+        #: Vector-clock race detector (repro.analysis), enabled together
+        #: with the coherence oracle by ``ClusterConfig.checker``.
+        self.races = None
+        if config.checker:
+            from repro.analysis.racedetect import RaceDetector
+
+            self.races = RaceDetector(self.cluster)
         self.schedulers: list[NodeScheduler] = []
         self.migrations: list[MigrationService] = []
         self.balancers: list[LoadBalancer] = []
@@ -105,6 +110,10 @@ class Ivy:
         self.cluster.run()
         if pcb.task.error is not None:
             raise TaskFailure(f"main process failed") from pcb.task.error
+        if self.cluster.oracle is not None:
+            # The simulation drained: every invariant must now hold at
+            # full strength (no in-flight-fault gating).
+            self.cluster.oracle.check_quiescent()
         return pcb.task.result
 
     @property
@@ -116,9 +125,10 @@ class Ivy:
 
     def _make_spawn_server(self, node: NodeContext):
         def serve_spawn(origin: int, payload: tuple) -> Generator:
-            fn, args, name, migratable, stack_addr, stack_pages = payload
+            fn, args, name, migratable, stack_addr, stack_pages, parent_clock = payload
             pid = yield from self._spawn_here(
-                node.node_id, fn, args, name, migratable, stack_addr, stack_pages
+                node.node_id, fn, args, name, migratable, stack_addr, stack_pages,
+                parent_clock=parent_clock,
             )
             return (pid.node, pid.serial)
 
@@ -133,6 +143,7 @@ class Ivy:
         migratable: bool,
         stack_addr: int,
         stack_pages: tuple[int, ...],
+        parent_clock: dict | None = None,
     ) -> Generator[Effect, Any, Pid]:
         node = self.cluster.node(node_id)
         sched = self.schedulers[node_id]
@@ -153,6 +164,12 @@ class Ivy:
             stack_addr=stack_addr, stack_pages=stack_pages,
         )
         pcb_holder.append(pcb)
+        if self.races is not None and parent_clock is not None:
+            # The edge must be in place before the child's first access;
+            # a remotely spawned child can run before the spawn reply
+            # reaches the parent, which is why the clock rides in the
+            # spawn payload instead of being registered on return.
+            self.races.on_spawn(pcb.pid, parent_clock)
         return pcb.pid
 
 
@@ -163,6 +180,8 @@ class IvyProcessContext:
         self.ivy = ivy
         self.pcb = pcb
         self._cpu = ivy.config.cpu
+        #: Per-node TrackedMemory proxies (race detection only).
+        self._tracked: dict[int, Any] = {}
 
     # ------------------------------------------------------------------
     # location-transparent accessors
@@ -178,7 +197,23 @@ class IvyProcessContext:
 
     @property
     def mem(self):
-        return self.node.mem
+        inner = self.node.mem
+        races = self.ivy.races
+        if races is None:
+            return inner
+        node_id = self.pcb.node
+        proxy = self._tracked.get(node_id)
+        if proxy is None:
+            from repro.analysis.racedetect import TrackedMemory
+
+            proxy = TrackedMemory(inner, races, self.pcb.pid, node_id)
+            self._tracked[node_id] = proxy
+        return proxy
+
+    @property
+    def racedetect(self):
+        """The cluster's race detector, or None when checking is off."""
+        return self.ivy.races
 
     @property
     def nnodes(self) -> int:
@@ -268,15 +303,18 @@ class IvyProcessContext:
         layout = self.ivy.cluster.layout
         stack_pages = tuple(layout.pages_spanned(stack_addr, stack_bytes))
         target = self.pcb.node if on is None else on
+        races = self.ivy.races
+        parent_clock = races.fork(self.pcb.pid) if races is not None else None
         if target == self.pcb.node:
             pid = yield from self.ivy._spawn_here(
-                target, fn, args, name, migratable, stack_addr, stack_pages
+                target, fn, args, name, migratable, stack_addr, stack_pages,
+                parent_clock=parent_clock,
             )
             return pid
         raw = yield from self.node.remote.request(
             target,
             OP_SPAWN,
-            (fn, args, name, migratable, stack_addr, stack_pages),
+            (fn, args, name, migratable, stack_addr, stack_pages, parent_clock),
             nbytes=request_size(64 + 16 * len(args)),
         )
         return Pid(raw[0], raw[1])
@@ -304,10 +342,16 @@ class IvyProcessContext:
     def park(self) -> Generator[Effect, Any, Any]:
         """Suspend until resumed (used by synchronisation primitives)."""
         value = yield Suspend()
+        if self.ivy.races is not None:
+            # Join the clocks every resume() aimed at us published: the
+            # waker's history happened-before anything we do from here.
+            self.ivy.races.on_wake(self.pcb.pid)
         return value
 
     def resume(self, pid: Pid, value: Any = None) -> Generator[Effect, Any, None]:
         """Remote notification: wake ``pid`` wherever it lives."""
+        if self.ivy.races is not None:
+            self.ivy.races.on_resume(self.pcb.pid, pid)
         yield from self.ivy.migrations[self.pcb.node].resume_remote(pid, value)
 
     def resume_async(self, pid: Pid, value: Any = None) -> None:
@@ -317,6 +361,10 @@ class IvyProcessContext:
         reliable; the caller just does not sit on the round-trip.  Used by
         Advance(ec), which may have many waiters to wake.
         """
+        if self.ivy.races is not None:
+            # The edge is captured at send time — the notification's
+            # content is exactly the sender's history up to this point.
+            self.ivy.races.on_resume(self.pcb.pid, pid)
         migration = self.ivy.migrations[self.pcb.node]
         self.ivy.cluster.driver.spawn(
             migration.resume_remote(pid, value), f"resume-{pid}"

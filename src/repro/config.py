@@ -193,6 +193,13 @@ class ClusterConfig:
 
     nodes: int = 4
     seed: int = 1988
+    #: Enable the online correctness checkers (repro.analysis): the
+    #: coherence oracle shadows every protocol transition and the
+    #: vector-clock race detector instruments application accesses.
+    #: Checking is pure observation — it never yields simulation effects,
+    #: so enabling it cannot change simulated times or event counts; a
+    #: detected violation raises ``InvariantViolation``.
+    checker: bool = False
     cpu: CpuConfig = field(default_factory=CpuConfig)
     ring: RingConfig = field(default_factory=RingConfig)
     disk: DiskConfig = field(default_factory=DiskConfig)

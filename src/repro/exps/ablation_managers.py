@@ -39,9 +39,11 @@ class ManagerResult:
 
 def run(quick: bool = True, nprocs: int = 4) -> list[ManagerResult]:
     if quick:
-        factory = lambda p: JacobiApp(p, n=128, iters=8)
+        def factory(p: int) -> JacobiApp:
+            return JacobiApp(p, n=128, iters=8)
     else:
-        factory = lambda p: JacobiApp(p, n=256, iters=16)
+        def factory(p: int) -> JacobiApp:
+            return JacobiApp(p, n=256, iters=16)
     out = []
     for algorithm in ALGORITHMS:
         if algorithm == "dynamic+bcast":

@@ -16,8 +16,6 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
-
 from repro.api.ivy import Ivy
 from repro.apps.jacobi import JacobiApp
 from repro.config import ClusterConfig

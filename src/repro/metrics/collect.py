@@ -12,7 +12,12 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable
 
-__all__ = ["Counters", "EpochLog"]
+__all__ = ["Counters", "EpochLog", "VIOLATION_PREFIX"]
+
+#: Namespace for correctness-checker counters: the coherence oracle and
+#: the race detector (repro.analysis) record every finding under
+#: ``violation.<rule>`` so reports can separate them from traffic stats.
+VIOLATION_PREFIX = "violation."
 
 
 class Counters:
@@ -26,6 +31,17 @@ class Counters:
 
     def get(self, name: str) -> int:
         return self._values.get(name, 0)
+
+    def violations(self) -> dict[str, int]:
+        """Correctness-checker findings, keyed by rule name."""
+        return {
+            name[len(VIOLATION_PREFIX):]: value
+            for name, value in self._values.items()
+            if name.startswith(VIOLATION_PREFIX)
+        }
+
+    def total_violations(self) -> int:
+        return sum(self.violations().values())
 
     def __getitem__(self, name: str) -> int:
         return self.get(name)

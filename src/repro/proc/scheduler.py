@@ -20,7 +20,7 @@ timers, and the passive load-balancing timeout is
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Generator
+from typing import Any, Generator
 
 from repro.config import ClusterConfig
 from repro.metrics.collect import Counters

@@ -5,14 +5,41 @@ Tracing is off by default (a no-op recorder) so the hot paths only pay a
 truthiness check.  Tests use traces to assert protocol-level properties
 ("the manager forwarded exactly one request", "no invalidation was sent
 to a non-copy-holder") that aggregate counters cannot express.
+
+Until :meth:`TraceRecorder.bind_clock` is called (the cluster does this
+at boot), events are stamped :data:`UNSTAMPED` rather than silently
+timestamped 0 — a recorder used before boot is detectable instead of
+producing plausible-looking zero times.
+
+Protocol-transition categories (consumed by ``repro.analysis``):
+
+- ``cluster.boot``     — cluster topology + coherence configuration;
+- ``svm.fault_begin``  — a fault handler entered its slow path;
+- ``svm.read_fault``   — a read fault completed (copy installed);
+- ``svm.write_fault``  — a write fault completed (ownership acquired);
+- ``svm.write_upgrade``— an owner upgraded READ -> WRITE in place;
+- ``svm.chown``        — a data-less ownership acquisition completed;
+- ``svm.grant``        — an owner served a fault (read copy or ownership);
+- ``svm.invalidate``   — an owner multicast invalidations;
+- ``svm.inv_recv``     — a node applied an invalidation;
+- ``svm.update_recv``  — a node applied a pushed page image;
+- ``svm.drop``         — eviction dropped a copy / paged out the owner.
+
+Recorded streams round-trip through :meth:`save` / :meth:`load` (JSON
+lines) so ``python -m repro.analysis replay`` can check them offline.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
-__all__ = ["TraceEvent", "TraceRecorder", "NULL_TRACE"]
+__all__ = ["TraceEvent", "TraceRecorder", "NULL_TRACE", "UNSTAMPED"]
+
+#: Timestamp of events emitted before a clock was bound: recorders used
+#: before cluster boot mark their events rather than claiming time 0.
+UNSTAMPED = -1
 
 
 @dataclass(frozen=True)
@@ -24,6 +51,10 @@ class TraceEvent:
     def __getitem__(self, key: str) -> Any:
         return self.fields[key]
 
+    @property
+    def stamped(self) -> bool:
+        return self.time != UNSTAMPED
+
 
 class TraceRecorder:
     """Collects trace events, optionally filtered by category."""
@@ -32,7 +63,7 @@ class TraceRecorder:
         self.enabled = enabled
         self.categories = categories
         self.events: list[TraceEvent] = []
-        self._clock: Callable[[], int] = lambda: 0
+        self._clock: Callable[[], int] | None = None
 
     def bind_clock(self, clock: Callable[[], int]) -> None:
         """Attach the simulator clock; called by the cluster at boot."""
@@ -46,7 +77,8 @@ class TraceRecorder:
             return
         if self.categories is not None and category not in self.categories:
             return
-        self.events.append(TraceEvent(self._clock(), category, fields))
+        time = self._clock() if self._clock is not None else UNSTAMPED
+        self.events.append(TraceEvent(time, category, fields))
 
     def select(self, category: str, **match: Any) -> list[TraceEvent]:
         """Events of ``category`` whose fields match all of ``match``."""
@@ -62,6 +94,57 @@ class TraceRecorder:
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)
+
+    # ------------------------------------------------------------------
+    # replay support (repro.analysis)
+
+    def replay(self, categories: set[str] | None = None) -> Iterator[TraceEvent]:
+        """Iterate recorded events in emission (= time) order, optionally
+        restricted to ``categories``.  Emission order is the coherence
+        order the analysis layer replays — events are appended as the
+        simulation executes them, so ties at equal timestamps keep their
+        causal order, which a sort by timestamp would not guarantee."""
+        for ev in self.events:
+            if categories is None or ev.category in categories:
+                yield ev
+
+    def save(self, path: str) -> int:
+        """Write the recorded stream as JSON lines; returns event count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for ev in self.events:
+                fh.write(
+                    json.dumps(
+                        {"time": ev.time, "category": ev.category, "fields": ev.fields},
+                        default=_jsonable,
+                    )
+                )
+                fh.write("\n")
+        return len(self.events)
+
+    @classmethod
+    def load(cls, path: str) -> "TraceRecorder":
+        """Reconstruct a recorder from a :meth:`save` stream.  Tuples do
+        not survive the JSON round-trip (they come back as lists), which
+        the replay checker normalises itself."""
+        rec = cls()
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                raw = json.loads(line)
+                rec.events.append(
+                    TraceEvent(int(raw["time"]), raw["category"], raw["fields"])
+                )
+        return rec
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    if isinstance(value, bytes):
+        return list(value)
+    raise TypeError(f"unserialisable trace field {value!r}")
 
 
 #: Shared disabled recorder — the default for non-test runs.

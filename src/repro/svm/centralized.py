@@ -37,6 +37,13 @@ class CentralizedProtocol(CoherenceProtocol):
     def _owner_of(self, page: int) -> int:
         return self._owners.get(page, self.config.svm.manager_node)
 
+    def manager_owner_view(self, page: int) -> int | None:
+        """Checker hook: the manager's owner table is authoritative here,
+        so at quiescence it must name the true owner of every page."""
+        if self.node_id != self.manager_node:
+            return None
+        return self._owner_of(page)
+
     def fault_target(self, page: int, entry: PageTableEntry, write: bool) -> int:
         if self.node_id == self.manager_node:
             # The manager faulting on its own behalf looks the owner up

@@ -74,6 +74,15 @@ class DynamicDistributedProtocol(CoherenceProtocol):
         return None
         yield  # pragma: no cover - makes this a generator
 
+    def probable_owner_hop(self, page: int) -> int | None:
+        """Checker hook: this node's next probOwner hop for ``page``, or
+        None when the chain ends here (this node owns the page).  The
+        oracle stitches per-node hops together and asserts Li & Hudak's
+        invariant that every chain reaches the true owner at quiescence.
+        """
+        entry = self.table.entry(page)
+        return None if entry.is_owner else entry.prob_owner
+
     def fault_target(self, page: int, entry: PageTableEntry, write: bool) -> int:
         target = entry.prob_owner
         if target == self.node_id:

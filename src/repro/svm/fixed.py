@@ -35,6 +35,12 @@ class FixedDistributedProtocol(CoherenceProtocol):
     def _owner_of(self, page: int) -> int:
         return self._owners.get(page, self.config.svm.manager_node)
 
+    def manager_owner_view(self, page: int) -> int | None:
+        """Checker hook: only the page's fixed manager holds authority."""
+        if self.node_id != self.manager_of(page):
+            return None
+        return self._owner_of(page)
+
     def fault_target(self, page: int, entry: PageTableEntry, write: bool) -> int:
         if self.node_id == self.manager_of(page):
             # This node manages the page it is faulting on: consult the

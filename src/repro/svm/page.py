@@ -60,6 +60,18 @@ class PageTableEntry:
         it holds the sole copy, READ while read copies are outstanding."""
         return Access.READ if self.copy_set else Access.WRITE
 
+    def snapshot(self) -> dict:
+        """Plain-data view of the entry (violation reports, assertions)."""
+        return {
+            "access": self.access.name,
+            "is_owner": self.is_owner,
+            "copy_set": sorted(self.copy_set),
+            "prob_owner": self.prob_owner,
+            "on_disk": self.on_disk,
+            "inv_epoch": self.inv_epoch,
+            "xfer_count": self.xfer_count,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         flags = []
         if self.is_owner:
@@ -82,6 +94,15 @@ class PageTable:
         self.npages = npages
         self.default_owner = default_owner
         self._entries: dict[int, PageTableEntry] = {}
+        self._observer = None
+
+    def attach_observer(self, observer) -> None:
+        """Register a callback ``observer(node_id, page, entry)`` invoked
+        whenever an entry materialises.  The coherence oracle uses this to
+        start shadowing a page the moment any node first touches it."""
+        self._observer = observer
+        for page, ent in self._entries.items():
+            observer(self.node_id, page, ent)
 
     def entry(self, page: int) -> PageTableEntry:
         if not 0 <= page < self.npages:
@@ -93,6 +114,8 @@ class PageTable:
                 default_owner=self.default_owner,
             )
             self._entries[page] = ent
+            if self._observer is not None:
+                self._observer(self.node_id, page, ent)
         return ent
 
     def known_entries(self) -> dict[int, PageTableEntry]:

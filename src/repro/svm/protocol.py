@@ -108,16 +108,25 @@ class CoherenceProtocol:
         self.counters = counters
         self.trace = trace
         self.page_size = layout.page_size
+        #: Online coherence oracle (repro.analysis), attached by the
+        #: cluster when ``ClusterConfig.checker`` is set.  Checking is
+        #: pure observation: the oracle never yields effects, so it can
+        #: run inside servers and fault handlers without perturbing
+        #: simulated time.
+        self.checker = None
         remote.register(OP_READ, self._serve_read)
         remote.register(OP_WRITE, self._serve_write)
         remote.register(OP_INV, self._serve_inv)
         remote.register(OP_CHOWN, self._serve_chown)
         remote.register(OP_LOCATE, self._serve_locate)
         remote.register(OP_UPDATE, self._serve_update)
+
         # Duplicate probes: a retransmitted fault request that this node
         # once forwarded should be *served* here if ownership has since
         # arrived (otherwise the stale sticky route loops it away forever).
-        owns = lambda page: self.table.entry(page).is_owner
+        def owns(page: int) -> bool:
+            return self.table.entry(page).is_owner
+
         remote.register_local_probe(OP_READ, owns)
         remote.register_local_probe(OP_WRITE, owns)
         remote.register_local_probe(OP_CHOWN, owns)
@@ -127,6 +136,25 @@ class CoherenceProtocol:
         #: "update" keeps read copies alive and pushes fresh page contents
         #: to the copy set on every write (extension; IVY invalidates).
         self.update_policy = config.svm.write_policy == "update"
+
+    def _note(self, category: str, **fields: Any) -> None:
+        """Publish one protocol transition to the tracer and the checker."""
+        if self.trace:
+            self.trace.emit(category, **fields)
+        if self.checker is not None:
+            self.checker.on_event(category, self.sim.now, fields)
+
+    @property
+    def _observed(self) -> bool:
+        """Whether anyone is listening for protocol transitions."""
+        return bool(self.trace) or self.checker is not None
+
+    def manager_owner_view(self, page: int) -> int | None:
+        """The owner this node's *manager state* believes ``page`` has,
+        or None when this node keeps no authority over the page.  The
+        manager algorithms override this; the oracle cross-checks it
+        against the true owner at quiescent points."""
+        return None
 
     # ------------------------------------------------------------------
     # policy hooks (implemented by the three manager algorithms)
@@ -239,6 +267,8 @@ class CoherenceProtocol:
                 return
             started = self.sim.now
             self.counters.inc("read_faults")
+            if self._observed:
+                self._note("svm.fault_begin", node=self.node_id, page=page, write=False)
             yield Compute(self.config.svm.fault_handler_cost)
             while True:
                 epoch = entry.inv_epoch
@@ -263,8 +293,8 @@ class CoherenceProtocol:
                 entry.prob_owner = owner
                 break
             self.counters.inc("read_fault_ns", self.sim.now - started)
-            if self.trace:
-                self.trace.emit("svm.read_fault", node=self.node_id, page=page, owner=owner)
+            if self._observed:
+                self._note("svm.read_fault", node=self.node_id, page=page, owner=owner)
         finally:
             entry.lock.release()
 
@@ -294,7 +324,7 @@ class CoherenceProtocol:
         `repro.sync`).
         """
         entry = self.table.entry(page)
-        yield from entry.lock.acquire()
+        yield from entry.lock.acquire()  # lint: keeps-lock
         yield from self._ensure_write_locked(page, entry)
         self.memory.pin(page)
         return entry
@@ -317,13 +347,27 @@ class CoherenceProtocol:
             yield from self._materialize_owner(page, entry)
             if entry.copy_set and not self.update_policy:
                 self.counters.inc("write_faults")
+                if self._observed:
+                    self._note(
+                        "svm.fault_begin", node=self.node_id, page=page, write=True
+                    )
                 yield Compute(self.config.svm.fault_handler_cost)
                 yield from self._invalidate(page, entry.copy_set)
+                invalidated = sorted(entry.copy_set)
                 entry.copy_set = set()
                 self.counters.inc("write_fault_ns", self.sim.now - started)
+                entry.access = Access.WRITE
+                if self._observed:
+                    self._note(
+                        "svm.write_upgrade",
+                        node=self.node_id, page=page, invalidated=invalidated,
+                    )
+                return
             entry.access = Access.WRITE
             return
         self.counters.inc("write_faults")
+        if self._observed:
+            self._note("svm.fault_begin", node=self.node_id, page=page, write=True)
         yield Compute(self.config.svm.fault_handler_cost)
         data, copy_set, xfer = yield from self._locate_request(
             page, entry, OP_WRITE, write=True
@@ -346,8 +390,8 @@ class CoherenceProtocol:
         entry.access = Access.WRITE
         self.counters.inc("write_fault_ns", self.sim.now - started)
         self.on_became_owner(page, entry)
-        if self.trace:
-            self.trace.emit(
+        if self._observed:
+            self._note(
                 "svm.write_fault", node=self.node_id, page=page,
                 invalidated=sorted(holders),
             )
@@ -380,8 +424,8 @@ class CoherenceProtocol:
         (the broadcast "replies from all" scheme of the paper)."""
         targets = tuple(sorted(holders))
         self.counters.inc("invalidations_sent", len(targets))
-        if self.trace:
-            self.trace.emit(
+        if self._observed:
+            self._note(
                 "svm.invalidate", node=self.node_id, page=page, targets=targets
             )
         yield from self.remote.multicast(
@@ -413,6 +457,11 @@ class CoherenceProtocol:
                 entry.copy_set.add(origin)
                 entry.access = Access.READ if entry.access is not Access.NIL else entry.access
                 self.counters.inc("zero_grants")
+                if self._observed:
+                    self._note(
+                        "svm.grant", node=self.node_id, page=page, to=origin,
+                        write=False, zero=True,
+                    )
                 return Reply((None, self.node_id), nbytes=48)
             yield from self._materialize_owner(page, entry)
             entry.copy_set.add(origin)
@@ -420,6 +469,11 @@ class CoherenceProtocol:
             data = self.memory.data(page).tobytes()
             yield Compute(self.page_size * self.config.cpu.ns_per_byte_copy)
             self.counters.inc("page_copies_sent")
+            if self._observed:
+                self._note(
+                    "svm.grant", node=self.node_id, page=page, to=origin,
+                    write=False, zero=False,
+                )
             return Reply((data, self.node_id), nbytes=self.page_size + 48)
         finally:
             if locked:
@@ -474,6 +528,11 @@ class CoherenceProtocol:
                 if page in self.memory:
                     self.memory.drop(page)
             self.on_write_served(page, origin)
+            if self._observed:
+                self._note(
+                    "svm.grant", node=self.node_id, page=page, to=origin,
+                    write=True, zero=data is None, copy_set=list(copy_set),
+                )
             if data is not None:
                 yield Compute(self.page_size * self.config.cpu.ns_per_byte_copy)
             self.counters.inc("page_transfers_sent")
@@ -504,6 +563,8 @@ class CoherenceProtocol:
                     entry.copy_set = set()
                 entry.access = entry.owner_access()
                 return
+            if self._observed:
+                self._note("svm.fault_begin", node=self.node_id, page=page, write=True)
             copy_set, xfer = yield from self._locate_request(
                 page, entry, OP_CHOWN, write=True
             )
@@ -518,6 +579,8 @@ class CoherenceProtocol:
             entry.access = Access.WRITE
             self.counters.inc("ownership_transfers")
             self.on_became_owner(page, entry)
+            if self._observed:
+                self._note("svm.chown", node=self.node_id, page=page)
         finally:
             entry.lock.release()
 
@@ -550,6 +613,11 @@ class CoherenceProtocol:
             if page in self.memory:
                 self.memory.drop(page)
             self.on_write_served(page, origin)
+            if self._observed:
+                self._note(
+                    "svm.grant", node=self.node_id, page=page, to=origin,
+                    write=True, zero=True, copy_set=list(copy_set),
+                )
             return Reply((copy_set, xfer), nbytes=48 + 8 * len(copy_set))
         finally:
             if locked:
@@ -606,6 +674,11 @@ class CoherenceProtocol:
             entry.inv_epoch += 1
         entry.prob_owner = origin
         self.counters.inc("updates_received")
+        if self._observed:
+            self._note(
+                "svm.update_recv", node=self.node_id, page=page,
+                applied=page in self.memory and entry.access.permits_read(),
+            )
         yield Compute(self.page_size * self.config.cpu.ns_per_byte_copy)
         return True
 
@@ -623,6 +696,11 @@ class CoherenceProtocol:
         if page in self.memory and not self.memory.pinned(page):
             self.memory.drop(page)
         self.counters.inc("invalidations_received")
+        if self._observed:
+            self._note(
+                "svm.inv_recv", node=self.node_id, page=page,
+                owner=new_owner, epoch=entry.inv_epoch,
+            )
         yield Compute(self.config.cpu.ns_per_op * 20)
         return True
 
@@ -643,12 +721,16 @@ class CoherenceProtocol:
                 entry.on_disk = True
                 entry.access = Access.NIL
                 self.counters.inc("owner_pageouts")
+                if self._observed:
+                    self._note("svm.drop", node=self.node_id, page=page, pageout=True)
             else:
                 # A read copy can be dropped silently: the owner keeps the
                 # data, and a later invalidation to a non-holder is a no-op.
                 self.memory.drop(page)
                 entry.access = Access.NIL
                 self.counters.inc("copy_drops")
+                if self._observed:
+                    self._note("svm.drop", node=self.node_id, page=page, pageout=False)
             return True
         finally:
             entry.lock.release()

@@ -50,6 +50,9 @@ class Barrier:
         at the simulated instant the barrier opens.  Experiments use this
         to close measurement epochs exactly at iteration boundaries.
         """
+        racedetect = getattr(ctx, "racedetect", None)
+        if racedetect is not None:
+            racedetect.note_sync_op("barrier.arrive", self.addr, ctx.self_pid())
         ticket = yield from seq_ticket(ctx, self._seq_addr)
         round_end = (ticket // self.parties + 1) * self.parties
         value = yield from ec_advance(ctx, self._ec_addr)

@@ -96,6 +96,9 @@ def ec_wait(ctx: SyncContext, addr: int, target: int) -> Generator[Any, Any, int
     """
     size, capacity = _geometry(ctx, addr)
     pid = ctx.self_pid()
+    racedetect = getattr(ctx, "racedetect", None)
+    if racedetect is not None:
+        racedetect.note_sync_op("ec.wait", addr, pid)
 
     def decide(view: np.ndarray) -> int:
         words = view.view(np.int64)
@@ -125,6 +128,9 @@ def ec_advance(ctx: SyncContext, addr: int) -> Generator[Any, Any, int]:
     """Advance(ec): increment and wake every waiter whose target is
     reached.  Returns the new value."""
     size, _ = _geometry(ctx, addr)
+    racedetect = getattr(ctx, "racedetect", None)
+    if racedetect is not None:
+        racedetect.note_sync_op("ec.advance", addr, ctx.self_pid())
 
     def bump(view: np.ndarray) -> tuple[int, list[tuple[int, int]]]:
         words = view.view(np.int64)

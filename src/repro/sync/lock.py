@@ -61,6 +61,9 @@ def lock_acquire(ctx: SyncContext, addr: int) -> Generator[Any, Any, None]:
     """Test-and-set; on failure enqueue and suspend until handed the lock."""
     size, capacity = _geometry(ctx, addr)
     pid = ctx.self_pid()
+    racedetect = getattr(ctx, "racedetect", None)
+    if racedetect is not None:
+        racedetect.note_sync_op("lock.acquire", addr, pid)
 
     def test_and_set(view: np.ndarray) -> bool:
         words = view.view(np.int64)
@@ -83,6 +86,9 @@ def lock_acquire(ctx: SyncContext, addr: int) -> Generator[Any, Any, None]:
 def lock_release(ctx: SyncContext, addr: int) -> Generator[Any, Any, None]:
     """Unlock; hands off to the oldest waiter if one is queued."""
     size, _ = _geometry(ctx, addr)
+    racedetect = getattr(ctx, "racedetect", None)
+    if racedetect is not None:
+        racedetect.note_sync_op("lock.release", addr, ctx.self_pid())
 
     def unlock(view: np.ndarray) -> tuple[int, int] | None:
         words = view.view(np.int64)

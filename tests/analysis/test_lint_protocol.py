@@ -1,0 +1,103 @@
+"""The protocol linter: clean on the real sources, loud on the two
+classic footguns it exists to catch."""
+
+import importlib.util
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "lint_protocol", ROOT / "tools" / "lint_protocol.py"
+)
+lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint)
+
+
+def test_real_protocol_sources_are_clean():
+    assert lint.lint_paths([str(ROOT / "src" / "repro" / "svm")]) == []
+
+
+def test_flags_lock_acquisition_in_invalidation_server(tmp_path):
+    bad = tmp_path / "bad_server.py"
+    bad.write_text(
+        "class P:\n"
+        "    def _serve_inv(self, page):\n"
+        "        entry = self.table.entry(page)\n"
+        "        yield from entry.lock.acquire()\n"
+        "        entry.access = 0\n"
+    )
+    findings = lint.lint_paths([str(bad)])
+    assert len(findings) == 1
+    assert "_serve_inv" in findings[0]
+    assert "lock-free" in findings[0]
+
+
+def test_flags_unbalanced_entry_lock(tmp_path):
+    bad = tmp_path / "bad_lock.py"
+    bad.write_text(
+        "class P:\n"
+        "    def fault(self, page):\n"
+        "        entry = self.table.entry(page)\n"
+        "        yield from entry.lock.acquire()\n"
+        "        entry.access = 1\n"
+        "        entry.lock.release()\n"  # not in a finally: leaks on error
+    )
+    findings = lint.lint_paths([str(bad)])
+    assert len(findings) == 1
+    assert "try/finally" in findings[0]
+
+
+def test_accepts_balanced_entry_lock(tmp_path):
+    good = tmp_path / "good_lock.py"
+    good.write_text(
+        "class P:\n"
+        "    def fault(self, page):\n"
+        "        entry = self.table.entry(page)\n"
+        "        yield from entry.lock.acquire()\n"
+        "        try:\n"
+        "            entry.access = 1\n"
+        "        finally:\n"
+        "            entry.lock.release()\n"
+    )
+    assert lint.lint_paths([str(good)]) == []
+
+
+def test_accepts_lock_released_via_alias(tmp_path):
+    good = tmp_path / "alias_lock.py"
+    good.write_text(
+        "class P:\n"
+        "    def fault(self, page):\n"
+        "        yield from self.entry.lock.acquire()\n"
+        "        try:\n"
+        "            pass\n"
+        "        finally:\n"
+        "            entry = self.entry\n"
+        "            entry.lock.release()\n"
+    )
+    assert lint.lint_paths([str(good)]) == []
+
+
+def test_suppression_comment_is_honoured(tmp_path):
+    handed = tmp_path / "handed_lock.py"
+    handed.write_text(
+        "class P:\n"
+        "    def acquire_page_write(self, page):\n"
+        "        entry = self.table.entry(page)\n"
+        "        yield from entry.lock.acquire()  # lint: keeps-lock\n"
+        "        return entry\n"
+    )
+    assert lint.lint_paths([str(handed)]) == []
+
+
+def test_cli_exit_codes(tmp_path, capsys):
+    assert lint.main([str(ROOT / "src" / "repro" / "svm")]) == 0
+    assert "clean" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "class P:\n"
+        "    def _serve_inv(self, page):\n"
+        "        yield from self.table.entry(page).lock.acquire()\n"
+    )
+    assert lint.main([str(bad)]) == 1
+    assert "finding" in capsys.readouterr().out

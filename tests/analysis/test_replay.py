@@ -1,0 +1,116 @@
+"""Offline replay: a recorded run round-trips through JSONL and checks
+clean; corrupted streams are flagged; the CLI gates on the verdict."""
+
+import pytest
+
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.replay import SVM_CATEGORIES, replay_events, replay_file, summarize
+from repro.api.ivy import Ivy
+from repro.apps.jacobi import JacobiApp
+from repro.config import ClusterConfig
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+
+def record_run(tmp_path):
+    trace = TraceRecorder(categories=set(SVM_CATEGORIES))
+    ivy = Ivy(ClusterConfig(nodes=3, checker=True), trace=trace)
+    app = JacobiApp(3, n=32, iters=2)
+    app.check(ivy.run(app.main))
+    path = tmp_path / "trace.jsonl"
+    count = trace.save(str(path))
+    assert count == len(trace.events) > 0
+    return trace, path
+
+
+def test_recorded_run_replays_clean(tmp_path):
+    trace, path = record_run(tmp_path)
+    machine = replay_file(str(path))
+    assert machine.events_seen == len(trace.events)
+    assert machine.violations == []
+    assert "no invariant violations" in summarize(machine)
+
+
+def test_replay_flags_epoch_regress(tmp_path):
+    """Appending a stale invalidation receipt (epoch going backwards)
+    must be caught — that is the reordering bug the epochs exist for."""
+    trace, path = record_run(tmp_path)
+    loaded = TraceRecorder.load(str(path))
+    inv = [ev for ev in loaded.events if ev.category == "svm.inv_recv"]
+    assert inv, "jacobi under invalidate policy must invalidate copies"
+    last = inv[-1]
+    loaded.events.append(
+        TraceEvent(
+            last.time + 1,
+            "svm.inv_recv",
+            {**last.fields, "epoch": 0},
+        )
+    )
+    machine = replay_events(loaded.replay())
+    assert any(v.rule == "epoch-regress" for v in machine.violations)
+
+
+def test_replay_flags_grant_by_nonowner():
+    boot = TraceEvent(
+        0,
+        "cluster.boot",
+        {
+            "nodes": 3,
+            "manager": 0,
+            "algorithm": "dynamic",
+            "write_policy": "invalidate",
+            "page_size": 256,
+        },
+    )
+    rogue = TraceEvent(
+        5, "svm.grant", {"node": 2, "page": 4, "to": 1, "write": False}
+    )
+    machine = replay_events([boot, rogue])
+    assert [v.rule for v in machine.violations] == ["grant-nonowner"]
+
+
+def test_replay_flags_invalidation_of_nonholder():
+    events = [
+        TraceEvent(0, "cluster.boot", {"nodes": 2, "manager": 0}),
+        TraceEvent(1, "svm.invalidate", {"node": 0, "page": 1, "targets": [1]}),
+    ]
+    machine = replay_events(events)
+    assert [v.rule for v in machine.violations] == ["invalidate-nonholder"]
+
+
+def test_replay_strict_raises_immediately():
+    from repro.analysis import InvariantViolation
+
+    events = [
+        TraceEvent(0, "cluster.boot", {"nodes": 2, "manager": 0}),
+        TraceEvent(1, "svm.invalidate", {"node": 0, "page": 1, "targets": [1]}),
+    ]
+    with pytest.raises(InvariantViolation):
+        replay_events(events, strict=True)
+
+
+def test_cli_replay_exit_codes(tmp_path, capsys):
+    _, path = record_run(tmp_path)
+    assert analysis_main(["replay", str(path)]) == 0
+    assert "no invariant violations" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.jsonl"
+    loaded = TraceRecorder.load(str(path))
+    inv = [ev for ev in loaded.events if ev.category == "svm.inv_recv"][-1]
+    loaded.events.append(
+        TraceEvent(inv.time + 1, "svm.inv_recv", {**inv.fields, "epoch": 0})
+    )
+    loaded.save(str(bad))
+    assert analysis_main(["replay", str(bad)]) == 1
+    assert "epoch-regress" in capsys.readouterr().out
+
+
+def test_cli_run_records_and_gates(tmp_path, capsys):
+    path = tmp_path / "run.jsonl"
+    code = analysis_main(
+        ["run", "--app", "dotprod", "--nodes", "2", "--trace", str(path)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "result ok" in out
+    assert path.exists()
+    assert analysis_main(["replay", str(path)]) == 0

@@ -1,0 +1,43 @@
+"""TraceRecorder replay-support surface: unstamped-before-boot marking,
+emission-order replay, and the JSONL round-trip the offline checker
+consumes."""
+
+from repro.sim.trace import UNSTAMPED, TraceRecorder
+
+
+def test_events_before_clock_bind_are_unstamped():
+    trace = TraceRecorder()
+    trace.emit("x", a=1)
+    assert trace.events[0].time == UNSTAMPED
+    assert not trace.events[0].stamped
+
+    trace.bind_clock(lambda: 42)
+    trace.emit("x", b=2)
+    assert trace.events[1].time == 42
+    assert trace.events[1].stamped
+
+
+def test_replay_preserves_emission_order():
+    trace = TraceRecorder()
+    trace.bind_clock(lambda: 7)
+    trace.emit("svm.grant", page=1)
+    trace.emit("svm.inv_recv", page=1)  # same timestamp: order must hold
+    trace.emit("net.send", dst=2)
+    replayed = list(trace.replay({"svm.grant", "svm.inv_recv"}))
+    assert [ev.category for ev in replayed] == ["svm.grant", "svm.inv_recv"]
+
+
+def test_save_load_round_trip(tmp_path):
+    trace = TraceRecorder()
+    trace.bind_clock(lambda: 3)
+    trace.emit("svm.invalidate", page=2, targets={1, 4})
+    path = tmp_path / "t.jsonl"
+    assert trace.save(str(path)) == 1
+
+    loaded = TraceRecorder.load(str(path))
+    assert len(loaded.events) == 1
+    ev = loaded.events[0]
+    assert ev.time == 3
+    assert ev.category == "svm.invalidate"
+    # Sets become sorted lists over JSON; the replay checker normalises.
+    assert ev.fields == {"page": 2, "targets": [1, 4]}

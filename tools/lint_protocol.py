@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""AST lint for the two classic footguns of the coherence protocol.
+
+The protocol's locking discipline has two rules that reviews keep having
+to re-check by hand; this script enforces them mechanically (CI runs it
+over ``src/repro/svm``):
+
+rule 1 — lock-free servers
+    An invalidation, update or hint server (``_serve_inv``,
+    ``_serve_update``, ``_serve_hint``) must never acquire a
+    ``PageTableEntry`` lock.  Taking it deadlocks in the classic cycle:
+    the new owner holds its entry lock awaiting invalidation acks while
+    a copy holder's own write fault is parked behind that same lock (see
+    the deviation notes in ``repro/svm/protocol.py``).
+
+rule 2 — balanced entry locks
+    Every ``<entry>.lock.acquire()`` yielded inside a function must be
+    followed by a ``try``/``finally`` whose ``finally`` releases the
+    *same* lock, so no exception path can leak a held entry lock (a
+    leaked lock wedges every future fault on that page, cluster-wide).
+    Functions that intentionally hand the lock to their caller
+    (``acquire_page_write``) annotate the acquire statement with
+    ``# lint: keeps-lock``.
+
+Usage::
+
+    python tools/lint_protocol.py [paths...]   # default: src/repro/svm
+
+Exit status 1 if any finding is reported.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_PATHS = ["src/repro/svm"]
+
+#: Servers that must stay lock-free (rule 1).
+LOCK_FREE_SERVERS = ("_serve_inv", "_serve_update", "_serve_hint")
+
+SUPPRESS_COMMENT = "# lint: keeps-lock"
+
+
+def _is_lock_call(node: ast.AST, method: str) -> ast.expr | None:
+    """If ``node`` is ``<something>.lock.<method>(...)``, return the
+    ``<something>.lock`` expression, else None."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == method):
+        return None
+    base = func.value
+    if isinstance(base, ast.Attribute) and base.attr == "lock":
+        return base
+    return None
+
+
+def _lock_acquires(stmt: ast.stmt) -> list[ast.expr]:
+    """``.lock.acquire()`` expressions anywhere inside one statement."""
+    found = []
+    for node in ast.walk(stmt):
+        lock = _is_lock_call(node, "acquire")
+        if lock is not None:
+            found.append(lock)
+        lock = _is_lock_call(node, "try_acquire")
+        if lock is not None:
+            found.append(lock)
+    return found
+
+
+def _releases_in_finally(stmt: ast.stmt) -> list[str]:
+    """Unparsed lock expressions released in any ``finally`` within."""
+    released = []
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Try,)) and node.finalbody:
+            for final_stmt in node.finalbody:
+                for inner in ast.walk(final_stmt):
+                    lock = _is_lock_call(inner, "release")
+                    if lock is not None:
+                        released.append(ast.unparse(lock))
+    return released
+
+
+class ProtocolLinter:
+    def __init__(self, path: Path, tree: ast.Module, source_lines: list[str]) -> None:
+        self.path = path
+        self.tree = tree
+        self.source_lines = source_lines
+        self.findings: list[str] = []
+
+    def _report(self, lineno: int, message: str) -> None:
+        self.findings.append(f"{self.path}:{lineno}: {message}")
+
+    def _suppressed(self, lineno: int) -> bool:
+        line = self.source_lines[lineno - 1] if lineno - 1 < len(self.source_lines) else ""
+        return SUPPRESS_COMMENT in line
+
+    # -- rule 1 --------------------------------------------------------
+
+    def check_lock_free_servers(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name not in LOCK_FREE_SERVERS:
+                continue
+            for inner in ast.walk(node):
+                lock = _is_lock_call(inner, "acquire")
+                if lock is not None:
+                    self._report(
+                        inner.lineno,
+                        f"{node.name} acquires {ast.unparse(lock)}: invalidation-"
+                        "path servers must be lock-free (deadlock cycle; see "
+                        "repro/svm/protocol.py)",
+                    )
+
+    # -- rule 2 --------------------------------------------------------
+
+    def check_balanced_locks(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function_locks(node)
+
+    def _check_function_locks(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if fn.name in LOCK_FREE_SERVERS:
+            return  # rule 1 territory; no acquires allowed at all
+        self._check_body(fn.body)
+
+    def _check_body(self, body: list[ast.stmt]) -> None:
+        for index, stmt in enumerate(body):
+            # Recurse into nested suites first (loops, with, try, if).
+            for field_body in (
+                getattr(stmt, "body", None),
+                getattr(stmt, "orelse", None),
+                getattr(stmt, "finalbody", None),
+            ):
+                if isinstance(field_body, list) and field_body and isinstance(
+                    field_body[0], ast.stmt
+                ):
+                    self._check_body(field_body)
+            for handler in getattr(stmt, "handlers", []) or []:
+                self._check_body(handler.body)
+
+            acquires = _lock_acquires(stmt)
+            if not acquires:
+                continue
+            if isinstance(stmt, ast.Try):
+                continue  # the acquire is inside the try: recursion covered it
+            if self._suppressed(stmt.lineno):
+                continue
+            for lock in acquires:
+                wanted = ast.unparse(lock)
+                if not self._followed_by_release(body, index, wanted):
+                    self._report(
+                        stmt.lineno,
+                        f"{wanted}.acquire() is not followed by a try/finally "
+                        f"releasing {wanted} — an exception would leak the "
+                        "entry lock and wedge every fault on the page "
+                        f"(annotate with '{SUPPRESS_COMMENT}' if the lock is "
+                        "intentionally handed to the caller)",
+                    )
+
+    @staticmethod
+    def _followed_by_release(body: list[ast.stmt], index: int, wanted: str) -> bool:
+        for later in body[index + 1 :]:
+            if isinstance(later, ast.Try) and later.finalbody:
+                released = _releases_in_finally(later)
+                if wanted in released:
+                    return True
+                # ``entry.lock`` vs a local alias: accept a release whose
+                # attribute tail matches (e.g. ``self.table.entry(page)
+                # .lock`` released as ``entry.lock``).
+                tail = wanted.split(".")[-2:]
+                if any(r.split(".")[-2:] == tail for r in released):
+                    return True
+        return False
+
+
+def lint_file(path: Path) -> list[str]:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    linter = ProtocolLinter(path, tree, source.splitlines())
+    linter.check_lock_free_servers()
+    linter.check_balanced_locks()
+    return linter.findings
+
+
+def lint_paths(paths: list[str]) -> list[str]:
+    findings: list[str] = []
+    for raw in paths:
+        path = Path(raw)
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            findings.extend(lint_file(file))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    paths = args or DEFAULT_PATHS
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} protocol-lint finding(s)")
+        return 1
+    print(f"protocol lint clean ({', '.join(paths)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
