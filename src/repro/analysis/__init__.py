@@ -13,7 +13,13 @@ the live simulation (enable with ``ClusterConfig.checker = True``):
   synchronisation primitives;
 - :mod:`repro.analysis.replay` — an offline checker that replays a
   recorded :class:`repro.sim.trace.TraceRecorder` stream
-  (``python -m repro.analysis replay trace.jsonl``).
+  (``python -m repro.analysis replay trace.jsonl``);
+- :mod:`repro.analysis.explore` — a schedule explorer / model checker
+  that drives small protocol configurations through many same-tick
+  interleavings (exhaustive DFS with sleep-set reduction, PCT-style
+  random sampling, bounded delay injection), checking each schedule
+  with the oracle and delta-debugging violations to minimal replayable
+  counterexamples (``python -m repro.analysis explore ...``).
 
 Checking is pure observation: no checker ever yields a simulation
 effect, so enabling it cannot change simulated times or event counts.
@@ -21,15 +27,35 @@ A violated invariant raises :class:`InvariantViolation` carrying the
 recent event history of the offending page.
 """
 
+from repro.analysis.explore import (
+    Counterexample,
+    ExplorationResult,
+    RunResult,
+    Scenario,
+    explore_delay,
+    explore_dfs,
+    explore_pct,
+    minimize_schedule,
+    run_scenario,
+)
 from repro.analysis.oracle import CoherenceOracle, ShadowMachine
 from repro.analysis.racedetect import RaceDetector, RaceReport, TrackedMemory
 from repro.analysis.violation import InvariantViolation
 
 __all__ = [
     "CoherenceOracle",
+    "Counterexample",
+    "ExplorationResult",
     "InvariantViolation",
     "RaceDetector",
     "RaceReport",
+    "RunResult",
+    "Scenario",
     "ShadowMachine",
     "TrackedMemory",
+    "explore_delay",
+    "explore_dfs",
+    "explore_pct",
+    "minimize_schedule",
+    "run_scenario",
 ]

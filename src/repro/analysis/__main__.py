@@ -10,6 +10,14 @@
     python -m repro.analysis run --app jacobi --algorithm dynamic \
         --nodes 4 --trace trace.jsonl
 
+    # Model-check a small configuration across many schedules.
+    python -m repro.analysis explore --algorithm dynamic --nodes 2 \
+        --pages 1 --workload rw --strategy dfs
+
+    # Shrink a violating schedule, then re-execute it.
+    python -m repro.analysis minimize counterexamples.jsonl
+    python -m repro.analysis replay-schedule counterexamples.jsonl
+
 Exit status is non-zero when any invariant violation (or, for ``run``,
 an unexpected benchmark result) is found, so CI can gate on it.
 """
@@ -88,6 +96,111 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 1 if machine.violations else 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.analysis import explore as ex
+
+    scenario = ex.Scenario(
+        algorithm=args.algorithm,
+        nodes=args.nodes,
+        pages=args.pages,
+        workload=args.workload,
+        seed=args.seed,
+        mutation=args.mutation or None,
+        hint_period=args.hint_period,
+    )
+    if args.strategy == "dfs":
+        result = ex.explore_dfs(
+            scenario,
+            por=not args.no_por,
+            max_schedules=args.max_schedules,
+            max_events=args.max_events,
+        )
+    elif args.strategy == "pct":
+        result = ex.explore_pct(
+            scenario, samples=args.samples, max_events=args.max_events
+        )
+    elif args.strategy == "delay":
+        result = ex.explore_delay(
+            scenario,
+            pairs=args.pairs,
+            max_schedules=args.max_schedules,
+            max_events=args.max_events,
+        )
+    else:
+        raise SystemExit(f"unknown strategy {args.strategy!r}")
+
+    statuses = ", ".join(
+        f"{status}={count}" for status, count in sorted(result.statuses.items())
+    )
+    print(
+        f"{scenario.workload} on {scenario.nodes} nodes / {scenario.pages} "
+        f"pages ({scenario.algorithm}, {result.strategy}): "
+        f"{result.schedules} schedules [{statuses}]"
+        f"{' (truncated)' if result.truncated else ''}, "
+        f"{len(result.fingerprints)} distinct final states"
+    )
+    violations = result.violations
+    if violations and args.minimize:
+        violations = [
+            ex.minimize_schedule(scenario, ce.choices, ce.drops)
+            for ce in violations[: args.minimize]
+        ]
+    for ce in violations[:10]:
+        print(
+            f"  {ce.status} ({ce.rule}): choices={list(ce.choices)} "
+            f"drops={list(ce.drops)}"
+        )
+    if args.out:
+        count = ex.save_counterexamples(args.out, scenario, violations)
+        print(f"saved {count} schedule(s) to {args.out}")
+    return 1 if result.violations else 0
+
+
+def _cmd_minimize(args: argparse.Namespace) -> int:
+    from repro.analysis import explore as ex
+
+    try:
+        scenario, schedules = ex.load_artifact(args.artifact)
+    except FileNotFoundError:
+        raise SystemExit(f"no such artifact: {args.artifact}")
+    minimized = []
+    for ce in schedules:
+        small = ex.minimize_schedule(
+            scenario, ce.choices, ce.drops, max_events=args.max_events
+        )
+        minimized.append(small)
+        print(
+            f"{ce.rule}: {len(ce.choices)} choice(s) + {len(ce.drops)} "
+            f"drop(s) -> {len(small.choices)} + {len(small.drops)}"
+        )
+    out = args.out or args.artifact
+    count = ex.save_counterexamples(out, scenario, minimized)
+    print(f"saved {count} minimized schedule(s) to {out}")
+    return 0
+
+
+def _cmd_replay_schedule(args: argparse.Namespace) -> int:
+    from repro.analysis import explore as ex
+
+    try:
+        pairs = ex.replay_artifact(args.artifact, max_events=args.max_events)
+    except FileNotFoundError:
+        raise SystemExit(f"no such artifact: {args.artifact}")
+    failures = 0
+    for recorded, run in pairs:
+        reproduced = (run.status, run.rule) == (recorded.status, recorded.rule)
+        failures += 0 if reproduced else 1
+        verdict = "reproduced" if reproduced else "DID NOT REPRODUCE"
+        print(
+            f"choices={list(recorded.choices)} drops={list(recorded.drops)}: "
+            f"recorded {recorded.status} ({recorded.rule}), "
+            f"replay {run.status} ({run.rule}) -> {verdict}"
+        )
+    if not pairs:
+        print("artifact contains no schedules")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -108,6 +221,62 @@ def main(argv: list[str] | None = None) -> int:
     replay = sub.add_parser("replay", help="check a recorded trace offline")
     replay.add_argument("trace", help="JSONL file written by TraceRecorder.save")
     replay.set_defaults(func=_cmd_replay)
+
+    explore = sub.add_parser(
+        "explore", help="model-check schedules of a small configuration"
+    )
+    explore.add_argument(
+        "--algorithm", default="dynamic",
+        help="centralized | fixed | dynamic | broadcast",
+    )
+    explore.add_argument("--nodes", type=int, default=2)
+    explore.add_argument("--pages", type=int, default=1)
+    explore.add_argument(
+        "--workload", default="rw", help="rw | chown | mixed | mutate-upgrade"
+    )
+    explore.add_argument("--strategy", default="dfs", help="dfs | pct | delay")
+    explore.add_argument("--seed", type=int, default=1988)
+    explore.add_argument(
+        "--mutation", default="",
+        help="seeded page-table corruption (e.g. ghost-copyset)",
+    )
+    explore.add_argument(
+        "--hint-period", type=int, default=0,
+        help="dynamic manager hint-broadcast period (fan-out ties)",
+    )
+    explore.add_argument("--max-schedules", type=int, default=10_000)
+    explore.add_argument("--max-events", type=int, default=50_000)
+    explore.add_argument("--samples", type=int, default=50, help="pct samples")
+    explore.add_argument(
+        "--pairs", action="store_true", help="delay: also drop frame pairs"
+    )
+    explore.add_argument(
+        "--no-por", action="store_true",
+        help="dfs: disable the sleep-set partial-order reduction",
+    )
+    explore.add_argument(
+        "--minimize", type=int, default=0, metavar="N",
+        help="delta-debug the first N violating schedules before reporting",
+    )
+    explore.add_argument(
+        "--out", default="", help="save violating schedules (JSONL artifact)"
+    )
+    explore.set_defaults(func=_cmd_explore)
+
+    minimize = sub.add_parser(
+        "minimize", help="shrink every schedule in a counterexample artifact"
+    )
+    minimize.add_argument("artifact", help="JSONL artifact from explore --out")
+    minimize.add_argument("--out", default="", help="output path (default: in place)")
+    minimize.add_argument("--max-events", type=int, default=50_000)
+    minimize.set_defaults(func=_cmd_minimize)
+
+    replay_schedule = sub.add_parser(
+        "replay-schedule", help="re-execute schedules from an artifact"
+    )
+    replay_schedule.add_argument("artifact", help="JSONL artifact from explore --out")
+    replay_schedule.add_argument("--max-events", type=int, default=50_000)
+    replay_schedule.set_defaults(func=_cmd_replay_schedule)
 
     args = parser.parse_args(argv)
     return args.func(args)

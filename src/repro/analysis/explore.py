@@ -1,0 +1,870 @@
+"""Systematic schedule exploration: a model checker for the protocols.
+
+The simulator is deterministic, so the only nondeterminism a distributed
+schedule has in this model is the *order of events tied at one tick*
+(`repro.sim.kernel` docstring).  This module turns that tie-break into a
+controlled choice point and drives small protocol configurations (2-4
+nodes, 1-3 pages, scripted read/write/chown workloads) through many
+interleavings, checking every one of them with the coherence oracle,
+the deadlock detector and the final-state invariant sweep.
+
+A *schedule* is a prescription: a list of choice indices consumed one
+per choice point, in order.  Index 0 is always the event with the lowest
+sequence number — the one an uncontrolled run would fire — so the empty
+prescription reproduces the default schedule exactly, and any prefix of
+choices extends deterministically with defaults.  That representation
+makes schedules trivially replayable and shrinkable: a violating run is
+delta-debugged down to the minimal non-default choices that still
+trigger the violation, then saved as a JSONL artifact that
+``python -m repro.analysis replay-schedule`` re-executes.
+
+Three exploration strategies:
+
+- :func:`explore_dfs` — exhaustive depth-first enumeration of the
+  schedule tree, optionally pruned with sleep sets over a conservative
+  independence relation (two same-tick message deliveries commute when
+  they target different nodes *and* different pages; everything else is
+  assumed to conflict).  The reduction is sound for safety properties:
+  it only skips an interleaving when an equivalent one — same happens-
+  before order between dependent events — is explored.
+- :func:`explore_pct` — randomized PCT-style priority sampling: each
+  run assigns random priorities to event classes and demotes the top
+  class at a few random change points, which probes deep orderings that
+  stepwise-random walks rarely reach.
+- :func:`explore_delay` — bounded delay injection: deterministically
+  drops the k-th ring frame (via :attr:`TokenRing.drop_policy`), forcing
+  the transport's retransmission path and the message reorderings that
+  come with a 500 ms timeout recovery.
+
+All strategies report results as an :class:`ExplorationResult`; any
+violating schedule is captured as a :class:`Counterexample`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Sequence
+
+from repro.analysis.violation import InvariantViolation
+from repro.api.cluster import Cluster
+from repro.config import MILLISECOND, ClusterConfig
+from repro.net.packet import Message
+from repro.net.transport import TransportError
+from repro.sim.kernel import DeadlockError, PendingEvent, Scheduler
+from repro.sim.process import Effect, Sleep, Task, TaskFailure
+from repro.svm.protocol import ProtocolError
+
+__all__ = [
+    "Scenario",
+    "ChoicePoint",
+    "RecordingScheduler",
+    "PctScheduler",
+    "RunResult",
+    "Counterexample",
+    "ExplorationResult",
+    "run_scenario",
+    "explore_dfs",
+    "explore_pct",
+    "explore_delay",
+    "minimize_schedule",
+    "save_counterexamples",
+    "load_artifact",
+    "replay_artifact",
+    "WORKLOADS",
+    "MUTATIONS",
+    "independent",
+]
+
+#: Page size used by all exploration scenarios (the paper's conjectured
+#: small page; keeps page-crossing workloads cheap).
+PAGE_SIZE = 256
+
+#: Default per-run event budget.  A scripted scenario finishes in a few
+#: hundred events; the budget only bounds runaway schedules (a run that
+#: exhausts it is reported as status "budget", never silently dropped).
+DEFAULT_MAX_EVENTS = 50_000
+
+
+# ----------------------------------------------------------------------
+# scenarios
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One model-checking configuration: topology + scripted workload."""
+
+    algorithm: str = "dynamic"
+    nodes: int = 2
+    pages: int = 1
+    workload: str = "rw"
+    seed: int = 1988
+    #: Optional fault injection (a key of :data:`MUTATIONS`), applied by
+    #: the workload mid-run to prove the explorer catches seeded bugs.
+    mutation: str | None = None
+    #: Dynamic manager hint-broadcast period (``SvmConfig.
+    #: dynamic_broadcast_period``); > 0 makes every Mth ownership
+    #: transfer broadcast a hint refresh, whose fan-out deliveries are
+    #: the richest source of same-tick ties.
+    hint_period: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "nodes": self.nodes,
+            "pages": self.pages,
+            "workload": self.workload,
+            "seed": self.seed,
+            "mutation": self.mutation,
+            "hint_period": self.hint_period,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "Scenario":
+        return cls(
+            algorithm=raw["algorithm"],
+            nodes=int(raw["nodes"]),
+            pages=int(raw["pages"]),
+            workload=raw["workload"],
+            seed=int(raw.get("seed", 1988)),
+            mutation=raw.get("mutation"),
+            hint_period=int(raw.get("hint_period", 0)),
+        )
+
+
+def _build_cluster(scenario: Scenario) -> Cluster:
+    config = ClusterConfig(
+        nodes=scenario.nodes, seed=scenario.seed, checker=True
+    ).with_svm(
+        algorithm=scenario.algorithm,
+        page_size=PAGE_SIZE,
+        shared_size=PAGE_SIZE * 64,
+        dynamic_broadcast_period=scenario.hint_period,
+    )
+    return Cluster(config)
+
+
+def _addr(cluster: Cluster, page: int, slot: int) -> int:
+    """Word ``slot`` of shared page ``page`` (distinct word per node, so
+    scripted workloads race on pages — the protocol's job — while the
+    application-level values stay well-defined)."""
+    return cluster.config.svm.shared_base + page * PAGE_SIZE + slot * 8
+
+
+# Each workload factory returns one generator per node; the harness
+# spawns them all at t=0 so their interleaving is entirely up to the
+# scheduler under test.
+
+WorkloadFactory = Callable[
+    [Cluster, Scenario], "list[tuple[str, Generator[Effect, Any, Any]]]"
+]
+
+
+def _workload_rw(cluster: Cluster, scenario: Scenario):
+    """Every node writes its own word of every page, then reads its
+    right neighbour's word — write faults, read faults, invalidations
+    and ownership migration all contended on every page."""
+
+    def body(n: int):
+        for page in range(scenario.pages):
+            yield from cluster.node(n).mem.write_i64(
+                _addr(cluster, page, n), n * 100 + page
+            )
+        for page in range(scenario.pages):
+            yield from cluster.node(n).mem.read_i64(
+                _addr(cluster, page, (n + 1) % scenario.nodes)
+            )
+
+    return [(f"rw-{n}", body(n)) for n in range(scenario.nodes)]
+
+
+def _workload_chown(cluster: Cluster, scenario: Scenario):
+    """Every node takes data-less ownership of every page, then writes —
+    contends the chown fast path against concurrent write faults."""
+
+    def body(n: int):
+        for page in range(scenario.pages):
+            pid = cluster.layout.page_of(_addr(cluster, page, 0))
+            yield from cluster.node(n).protocol.take_ownership(pid)
+            yield from cluster.node(n).mem.write_i64(
+                _addr(cluster, page, n), n + 1
+            )
+
+    return [(f"chown-{n}", body(n)) for n in range(scenario.nodes)]
+
+
+def _workload_mixed(cluster: Cluster, scenario: Scenario):
+    """Node 0 runs the chown script, everyone else the rw script."""
+    tasks = _workload_chown(cluster, scenario)[:1]
+    tasks.extend(_workload_rw(cluster, scenario)[1:])
+    return tasks
+
+
+def _workload_mutate_upgrade(cluster: Cluster, scenario: Scenario):
+    """Node 0 writes a page, pauses long enough for node 1's concurrent
+    read to be granted a copy, corrupts its own page-table entry with
+    ``scenario.mutation``, then writes again.  Node 1 never takes
+    ownership, so node 0's second write always upgrades in place and
+    multicasts invalidations from the corrupted copy set — the oracle
+    must flag it on *every* schedule.  Requires ``nodes >= 3`` so the
+    ghost copy-set member is a live node.
+    """
+    mutate = MUTATIONS[scenario.mutation] if scenario.mutation else None
+    page0 = cluster.layout.page_of(_addr(cluster, 0, 0))
+
+    def writer():
+        yield from cluster.node(0).mem.write_i64(_addr(cluster, 0, 0), 1)
+        # One remote read fault takes a few ms; 20 ms guarantees the
+        # reader's copy is installed before the corrupted upgrade.
+        yield Sleep(20 * MILLISECOND)
+        if mutate is not None:
+            mutate(cluster, page0)
+        yield from cluster.node(0).mem.write_i64(_addr(cluster, 0, 0), 2)
+
+    def reader():
+        yield from cluster.node(1).mem.read_i64(_addr(cluster, 0, 1))
+
+    return [("mutate-writer", writer()), ("mutate-reader", reader())]
+
+
+WORKLOADS: dict[str, WorkloadFactory] = {
+    "rw": _workload_rw,
+    "chown": _workload_chown,
+    "mixed": _workload_mixed,
+    "mutate-upgrade": _workload_mutate_upgrade,
+}
+
+#: Seeded protocol-state corruptions (same faults as the PR 1 oracle
+#: mutation tests), keyed by name for the CLI and artifacts.
+MUTATIONS: dict[str, Callable[[Cluster, int], None]] = {
+    # A ghost copy-set member: the owner will invalidate a node that was
+    # never granted a copy (oracle rule "invalidate-nonholder").
+    "ghost-copyset": lambda cluster, page: (
+        cluster.node(0).table.entry(page).copy_set.add(2)
+    ),
+    # Drop a real reader from the owner's copy set: a later upgrade
+    # skips its invalidation, leaving a stale readable copy (rule
+    # "swmr" / "stale-copy" at quiescence).
+    "lost-copyset": lambda cluster, page: (
+        cluster.node(0).table.entry(page).copy_set.discard(1)
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# schedulers
+
+
+@dataclass(frozen=True)
+class ChoicePoint:
+    """One consulted tie: the labels offered and the index fired."""
+
+    time: int
+    labels: tuple[str | None, ...]
+    chosen: int
+
+
+class RecordingScheduler(Scheduler):
+    """Replays a prescribed choice list, then defaults; records a log.
+
+    Choices beyond the prescription are index 0 (the default seq order),
+    so any prefix extends deterministically.  A prescribed index that
+    exceeds the live batch (possible mid-minimization, when zeroing an
+    earlier choice changes how later ticks batch) clamps to the last
+    event rather than failing — every choice list stays executable.
+
+    With a ``sleep`` set (the DFS passes one per branch), the default
+    pick beyond the prescription skips events whose label is asleep —
+    an equivalent interleaving that fires them earlier was already
+    explored — and the set evolves online: a sleeper is dropped the
+    moment a dependent event fires.  The recorded log stays a plain
+    choice list, so any run found this way replays via prescription
+    alone, without the sleep set.
+    """
+
+    def __init__(
+        self, prescribed: Sequence[int] = (), sleep: Iterable[str] = ()
+    ) -> None:
+        self.prescribed = tuple(prescribed)
+        self.log: list[ChoicePoint] = []
+        self._sleep = set(sleep)
+
+    def _pick(self, now: int, events: Sequence[PendingEvent]) -> int:
+        cursor = len(self.log)
+        if cursor < len(self.prescribed):
+            return min(self.prescribed[cursor], len(events) - 1)
+        if self._sleep:
+            labels = [e.label for e in events]
+            for i, label in enumerate(labels):
+                sleeping = (
+                    label is not None
+                    and label in self._sleep
+                    and labels.count(label) == 1
+                )
+                if not sleeping:
+                    return i
+            # Every live event is asleep: explored interleavings already
+            # cover this state; fire the default to make progress.
+        return 0
+
+    def choose(self, now: int, events: Sequence[PendingEvent]) -> int:
+        index = self._pick(now, events)
+        if self._sleep and len(self.log) >= len(self.prescribed):
+            chosen = events[index].label
+            self._sleep = {z for z in self._sleep if independent(z, chosen)}
+        self.log.append(ChoicePoint(now, tuple(e.label for e in events), index))
+        return index
+
+
+def _label_key(label: str | None) -> str:
+    """Collapse a label to its event class: message ids are volatile
+    (they differ between schedules), so PCT priorities attach to the
+    stable ``deliver:n1:p0:req:svm.read:o1`` part."""
+    return re.sub(r"\.\d+$", "", label) if label else "?"
+
+
+class PctScheduler(RecordingScheduler):
+    """PCT-style randomized priority scheduler.
+
+    Event classes get random priorities on first sight; every choice
+    fires the highest-priority live event.  At each of the ``d - 1``
+    change points the currently-top class is demoted below everything,
+    which is what lets a run of depth ``n`` hit bugs that need ``d``
+    specific ordering inversions with probability >= 1/(n * k^(d-1)).
+    The log it records is an ordinary choice list, so a violating sample
+    replays through a plain :class:`RecordingScheduler`.
+    """
+
+    def __init__(self, rng: random.Random, change_points: Iterable[int] = ()) -> None:
+        super().__init__(())
+        self.rng = rng
+        self.change_points = frozenset(change_points)
+        self._prio: dict[str, float] = {}
+
+    def _pick(self, now: int, events: Sequence[PendingEvent]) -> int:
+        keys = [_label_key(e.label) for e in events]
+        for key in keys:
+            if key not in self._prio:
+                self._prio[key] = self.rng.random()
+        if len(self.log) in self.change_points:
+            top = max(self._prio, key=lambda k: self._prio[k])
+            self._prio[top] -= 1.0
+        return max(range(len(events)), key=lambda i: (self._prio[keys[i]], -i))
+
+
+# ----------------------------------------------------------------------
+# one controlled run
+
+
+class _DropCounter:
+    """Deterministic :attr:`TokenRing.drop_policy`: numbers every frame
+    delivery attempt and drops the prescribed ones."""
+
+    def __init__(self, drops: Iterable[int]) -> None:
+        self.drops = frozenset(drops)
+        self.attempts = 0
+
+    def __call__(self, msg: Message, target: int) -> bool:
+        attempt = self.attempts
+        self.attempts += 1
+        return attempt in self.drops
+
+
+@dataclass
+class RunResult:
+    """Outcome of one schedule: classification + enough to replay it."""
+
+    status: str  # "ok" | "violation" | "deadlock" | "error" | "budget"
+    rule: str | None
+    detail: str
+    log: tuple[ChoicePoint, ...]
+    fingerprint: str | None
+    events: int
+    time: int
+    #: Ring delivery attempts observed (numbering space for drop lists).
+    attempts: int
+
+    @property
+    def choices(self) -> tuple[int, ...]:
+        return tuple(cp.chosen for cp in self.log)
+
+
+def _fingerprint(cluster: Cluster) -> str:
+    """Canonical final protocol state: per (page, node) access mode,
+    ownership, copy set and probOwner hint.  Transient bookkeeping
+    (invalidation epochs, transfer counts) is deliberately excluded —
+    two schedules that agree on this are coherence-equivalent."""
+    pages: set[int] = set()
+    for node in cluster.nodes:
+        pages.update(node.table.known_entries())
+    state = [
+        (
+            page,
+            node.node_id,
+            node.table.entry(page).access.name,
+            node.table.entry(page).is_owner,
+            sorted(node.table.entry(page).copy_set),
+            node.table.entry(page).prob_owner,
+        )
+        for page in sorted(pages)
+        for node in cluster.nodes
+    ]
+    return json.dumps(state, separators=(",", ":"))
+
+
+def run_scenario(
+    scenario: Scenario,
+    choices: Sequence[int] = (),
+    drops: Sequence[int] = (),
+    max_events: int = DEFAULT_MAX_EVENTS,
+    scheduler: RecordingScheduler | None = None,
+    sleep: Iterable[str] = (),
+) -> RunResult:
+    """Execute ``scenario`` once under a controlled schedule.
+
+    ``choices`` prescribes same-tick orderings (defaults after the
+    prescription runs out); ``drops`` names frame delivery attempts to
+    lose (forcing retransmission); ``sleep`` seeds the scheduler's
+    sleep set (DFS partial-order reduction).  Every run is checked
+    three ways: the online oracle during execution,
+    :class:`DeadlockError` on queue drain, and the quiescent sweep
+    (oracle + global invariants) after a clean finish.
+    """
+    cluster = _build_cluster(scenario)
+    sched = (
+        scheduler
+        if scheduler is not None
+        else RecordingScheduler(choices, sleep=sleep)
+    )
+    cluster.sim.scheduler = sched
+    dropper = _DropCounter(drops)
+    cluster.ring.drop_policy = dropper
+
+    try:
+        factory = WORKLOADS[scenario.workload]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {scenario.workload!r}; "
+            f"have {sorted(WORKLOADS)}"
+        ) from None
+    tasks: list[Task] = [
+        cluster.spawn_system(gen, name) for name, gen in factory(cluster, scenario)
+    ]
+
+    status, rule, detail = "ok", None, ""
+    try:
+        cluster.sim.run(max_events=max_events)
+        if not all(task.done for task in tasks):
+            status = "budget"
+            detail = f"stopped after {max_events} events"
+    except InvariantViolation as violation:
+        status, rule, detail = "violation", violation.rule, str(violation)
+    except TaskFailure as failure:
+        cause = failure.__cause__
+        if isinstance(cause, InvariantViolation):
+            status, rule, detail = "violation", cause.rule, str(cause)
+        else:
+            status, rule = "error", type(cause).__name__ if cause else "TaskFailure"
+            detail = str(failure)
+    except DeadlockError as deadlock:
+        status, detail = "deadlock", str(deadlock)
+    except (ProtocolError, TransportError, AssertionError) as exc:
+        status, rule, detail = "error", type(exc).__name__, str(exc)
+
+    if status == "ok":
+        try:
+            cluster.oracle.check_quiescent()
+            cluster.check_coherence_invariants()
+        except InvariantViolation as violation:
+            status, rule, detail = "violation", violation.rule, str(violation)
+        except AssertionError as exc:
+            status, rule, detail = "violation", "final-state", str(exc)
+
+    return RunResult(
+        status=status,
+        rule=rule,
+        detail=detail,
+        log=tuple(sched.log),
+        fingerprint=_fingerprint(cluster) if status == "ok" else None,
+        events=cluster.sim.events_executed,
+        time=cluster.sim.now,
+        attempts=dropper.attempts,
+    )
+
+
+# ----------------------------------------------------------------------
+# independence (for partial-order reduction)
+
+_DELIVER_RE = re.compile(r"^deliver:n(\d+):p(\d+):\w+:([\w.]+):")
+
+#: Fan-out deliveries that commute even for the *same* page: each one
+#: only rewrites its target node's page-table entry (access, probOwner)
+#: and the origin aggregates replies order-insensitively (counted for
+#: invalidation/update, first-and-only for owner location, none for
+#: hints).  These are exactly the broadcast frames whose deliveries
+#: share one ring arrival tick — the only place same-page deliveries
+#: can ever tie, since distinct frames serialise on the medium.
+_FANOUT_OPS = frozenset({"svm.inv", "svm.update", "svm.hint", "svm.locate"})
+
+
+def _delivery_footprint(label: str | None) -> tuple[int, int, str] | None:
+    """(target node, page, op) for a page-attributed delivery label,
+    else None.  Labels that do not parse — task steps, wakes, retransmit
+    timers, deliveries whose payload has no page (``p?``) — get no
+    footprint and are treated as conflicting with everything."""
+    match = _DELIVER_RE.match(label) if label else None
+    if match is None:
+        return None
+    return (int(match.group(1)), int(match.group(2)), match.group(3))
+
+
+def independent(a: str | None, b: str | None) -> bool:
+    """Conservative commutativity between same-tick events.
+
+    Two message deliveries commute when they target different nodes and
+    either (a) concern different pages — disjoint node-local state, and
+    the manager owner tables that might be shared are keyed per page
+    (each algorithm asserts this via ``SCHED_FOOTPRINTS``) — or (b) are
+    both fan-out deliveries (:data:`_FANOUT_OPS`) of the same multicast,
+    which touch only their own target's entry.  Any label we cannot
+    attribute is assumed to conflict, which can only cost extra
+    exploration, never miss an interleaving."""
+    fa, fb = _delivery_footprint(a), _delivery_footprint(b)
+    if fa is None or fb is None or fa[0] == fb[0]:
+        return False
+    if fa[1] != fb[1]:
+        return True
+    return fa[2] in _FANOUT_OPS and fb[2] in _FANOUT_OPS
+
+
+# ----------------------------------------------------------------------
+# exploration strategies
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A schedule that violated a check, in replayable form."""
+
+    choices: tuple[int, ...]
+    drops: tuple[int, ...]
+    status: str
+    rule: str | None
+    detail: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "schedule",
+            "choices": list(self.choices),
+            "drops": list(self.drops),
+            "status": self.status,
+            "rule": self.rule,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any]) -> "Counterexample":
+        return cls(
+            choices=tuple(int(c) for c in raw["choices"]),
+            drops=tuple(int(d) for d in raw.get("drops", ())),
+            status=raw["status"],
+            rule=raw.get("rule"),
+            detail=raw.get("detail", ""),
+        )
+
+
+@dataclass
+class ExplorationResult:
+    scenario: Scenario
+    strategy: str
+    schedules: int = 0
+    statuses: dict[str, int] = field(default_factory=dict)
+    violations: list[Counterexample] = field(default_factory=list)
+    #: Final-state fingerprints of all clean runs; POR soundness tests
+    #: assert set-equality between reduced and full exploration.
+    fingerprints: set[str] = field(default_factory=set)
+    truncated: bool = False
+
+    def record(self, run: RunResult, choices: Sequence[int], drops: Sequence[int] = ()) -> None:
+        self.schedules += 1
+        self.statuses[run.status] = self.statuses.get(run.status, 0) + 1
+        if run.fingerprint is not None:
+            self.fingerprints.add(run.fingerprint)
+        if run.status != "ok":
+            self.violations.append(
+                Counterexample(
+                    choices=tuple(choices),
+                    drops=tuple(drops),
+                    status=run.status,
+                    rule=run.rule,
+                    detail=run.detail,
+                )
+            )
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations and not self.truncated
+
+
+def explore_dfs(
+    scenario: Scenario,
+    por: bool = True,
+    max_schedules: int = 10_000,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> ExplorationResult:
+    """Exhaustive depth-first schedule enumeration.
+
+    Stateless exploration in the default-follower style: each executed
+    schedule is a prescribed prefix extended with default choices, and
+    every non-default alternative at every choice point at or beyond the
+    prefix spawns one child prefix — so every interleaving of the tree
+    is executed exactly once.
+
+    With ``por=True``, sleep sets prune: a child whose first divergence
+    fires an event that is *independent* of everything explored from the
+    same state is skipped, because some explored interleaving already
+    covers its happens-before order.  Sleep sets propagate forward along
+    a run (an event leaves the sleep set when a dependent event fires)
+    and siblings inherit the labels their earlier siblings explored.
+    Membership is only trusted when the label is unique in the batch —
+    unlabeled or duplicated labels never prune.
+    """
+    result = ExplorationResult(scenario=scenario, strategy="dfs")
+    # Each entry: (prescribed prefix, sleep set at the end of the prefix).
+    stack: list[tuple[tuple[int, ...], frozenset[str]]] = [((), frozenset())]
+    while stack:
+        if result.schedules >= max_schedules:
+            result.truncated = True
+            break
+        prefix, sleep = stack.pop()
+        run = run_scenario(
+            scenario,
+            choices=prefix,
+            max_events=max_events,
+            sleep=sleep if por else (),
+        )
+        result.record(run, run.choices)
+        taken = run.choices
+        # Branch at every choice point the prefix did not already fix.
+        children: list[tuple[int, int, tuple[int, ...], frozenset[str]]] = []
+        current: set[str] = set(sleep)
+        for i in range(len(prefix), len(run.log)):
+            point = run.log[i]
+            chosen_label = point.labels[point.chosen]
+            explored: list[str | None] = [chosen_label]
+            for j, label in enumerate(point.labels):
+                if j == point.chosen:
+                    continue
+                if (
+                    por
+                    and label is not None
+                    and label in current
+                    and point.labels.count(label) == 1
+                ):
+                    continue  # an equivalent interleaving is already explored
+                if por:
+                    inherited = current | {l for l in explored if l is not None}
+                    child_sleep = frozenset(
+                        z for z in inherited if independent(z, label)
+                    )
+                else:
+                    child_sleep = frozenset()
+                children.append((i, j, taken[:i] + (j,), child_sleep))
+                explored.append(label)
+            if por:
+                current = {z for z in current if independent(z, chosen_label)}
+        # Pop order must be deepest-first (so the default run's subtree
+        # finishes before its shallow siblings start — the order the
+        # sleep sets were built for); within one point, low j first.
+        children.sort(key=lambda c: (c[0], -c[1]))
+        for _i, _j, child_prefix, child_sleep in children:
+            stack.append((child_prefix, child_sleep))
+    return result
+
+
+def explore_pct(
+    scenario: Scenario,
+    samples: int = 50,
+    depth: int = 3,
+    seed: int | None = None,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> ExplorationResult:
+    """Randomized PCT-style sampling: ``samples`` independent runs, each
+    with fresh class priorities and ``depth - 1`` random change points
+    over the schedule length observed in a probe run."""
+    result = ExplorationResult(scenario=scenario, strategy="pct")
+    base_seed = scenario.seed if seed is None else seed
+    probe = run_scenario(scenario, max_events=max_events)
+    result.record(probe, probe.choices)
+    horizon = max(len(probe.log), 1)
+    for sample in range(samples):
+        rng = random.Random(f"{base_seed}:{sample}")
+        points = rng.sample(range(horizon), min(depth - 1, horizon))
+        sched = PctScheduler(rng, points)
+        run = run_scenario(
+            scenario, max_events=max_events, scheduler=sched
+        )
+        # The recorded choices replay through a plain RecordingScheduler.
+        result.record(run, run.choices)
+    return result
+
+
+def explore_delay(
+    scenario: Scenario,
+    pairs: bool = False,
+    max_schedules: int = 10_000,
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> ExplorationResult:
+    """Bounded delay injection via the ring's deterministic drop hook.
+
+    A probe run counts frame delivery attempts; then every single-drop
+    schedule (and, with ``pairs=True``, every ordered pair) runs under
+    the default event order.  Each drop forces the transport through its
+    retransmission timeout, delaying one message by ~500 ms relative to
+    its peers — a class of reordering the same-tick scheduler cannot
+    produce, because it moves events *across* ticks.
+    """
+    result = ExplorationResult(scenario=scenario, strategy="delay")
+    probe = run_scenario(scenario, max_events=max_events)
+    result.record(probe, probe.choices)
+    attempts = probe.attempts
+    singles = list(range(attempts))
+    combos: list[tuple[int, ...]] = [(i,) for i in singles]
+    if pairs:
+        combos.extend(
+            (i, j) for i in singles for j in singles if i < j
+        )
+    for drops in combos:
+        if result.schedules >= max_schedules:
+            result.truncated = True
+            break
+        run = run_scenario(
+            scenario, drops=drops, max_events=max_events
+        )
+        result.record(run, run.choices, drops)
+    return result
+
+
+# ----------------------------------------------------------------------
+# counterexample minimization
+
+
+def _strip(choices: Sequence[int]) -> tuple[int, ...]:
+    """Trailing default choices are implied by the prescription model,
+    so ``[1, 0, 0]`` and ``[1]`` denote the same schedule — strip them."""
+    out = list(choices)
+    while out and out[-1] == 0:
+        out.pop()
+    return tuple(out)
+
+
+def minimize_schedule(
+    scenario: Scenario,
+    choices: Sequence[int],
+    drops: Sequence[int] = (),
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> Counterexample:
+    """Delta-debug a violating schedule to a minimal choice sequence.
+
+    ddmin-style: repeatedly zero out chunks of the prescription (zeroing,
+    not deleting — deleting would shift later choices onto different
+    choice points) at halving granularity, keeping any candidate that
+    still fails with the *same* status and rule; then drop injected
+    frame losses one at a time.  The result is the schedule with the
+    fewest non-default choices that still triggers the original failure.
+    """
+    baseline = run_scenario(scenario, choices, drops, max_events)
+    if baseline.status == "ok":
+        raise ValueError("cannot minimize a schedule that does not fail")
+    target = (baseline.status, baseline.rule)
+
+    def still_fails(cand: Sequence[int], cand_drops: Sequence[int]) -> bool:
+        run = run_scenario(scenario, cand, cand_drops, max_events)
+        return (run.status, run.rule) == target
+
+    current = _strip(choices)
+    chunk = max(len(current), 1)
+    while chunk >= 1:
+        i = 0
+        while i < len(current):
+            width = min(chunk, len(current) - i)
+            candidate = _strip(
+                current[:i] + (0,) * width + current[i + width :]
+            )
+            if candidate != current and still_fails(candidate, drops):
+                current = candidate
+            else:
+                i += chunk
+        if chunk == 1:
+            break
+        chunk //= 2
+
+    kept_drops = list(drops)
+    i = 0
+    while i < len(kept_drops):
+        candidate_drops = kept_drops[:i] + kept_drops[i + 1 :]
+        if still_fails(current, candidate_drops):
+            kept_drops = candidate_drops
+        else:
+            i += 1
+
+    final = run_scenario(scenario, current, kept_drops, max_events)
+    return Counterexample(
+        choices=current,
+        drops=tuple(kept_drops),
+        status=final.status,
+        rule=final.rule,
+        detail=final.detail,
+    )
+
+
+# ----------------------------------------------------------------------
+# replayable artifacts (JSONL, same conventions as repro.sim.trace)
+
+
+def save_counterexamples(
+    path: str, scenario: Scenario, counterexamples: Iterable[Counterexample]
+) -> int:
+    """Write a replayable artifact: one scenario header line, then one
+    line per violating schedule.  Returns the number of schedules."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"kind": "scenario", **scenario.to_dict()}) + "\n")
+        for ce in counterexamples:
+            fh.write(json.dumps(ce.to_dict()) + "\n")
+            count += 1
+    return count
+
+
+def load_artifact(path: str) -> tuple[Scenario, list[Counterexample]]:
+    scenario: Scenario | None = None
+    schedules: list[Counterexample] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            if raw.get("kind") == "scenario":
+                scenario = Scenario.from_dict(raw)
+            elif raw.get("kind") == "schedule":
+                schedules.append(Counterexample.from_dict(raw))
+            else:
+                raise ValueError(f"unknown artifact line kind: {raw.get('kind')!r}")
+    if scenario is None:
+        raise ValueError(f"artifact {path} has no scenario header line")
+    return scenario, schedules
+
+
+def replay_artifact(
+    path: str, max_events: int = DEFAULT_MAX_EVENTS
+) -> list[tuple[Counterexample, RunResult]]:
+    """Re-execute every schedule in an artifact; pairs each recorded
+    counterexample with the result its replay produced (a reproduction
+    succeeds when status and rule match the recording)."""
+    scenario, schedules = load_artifact(path)
+    return [
+        (ce, run_scenario(scenario, ce.choices, ce.drops, max_events))
+        for ce in schedules
+    ]

@@ -35,6 +35,16 @@ checker failure.  Each :class:`RaceReport` carries both access epochs
 and the most recent synchronisation operations for diagnosis; every
 report also bumps the ``violation.race`` counter on the node that
 performed the later access.
+
+Known-benign races can be allowlisted: an application declares a
+race-by-design region with :meth:`RaceDetector.declare_benign_race`
+(via ``IvyProcessContext``), and the run's configuration lists the
+labels it accepts in ``CheckerConfig.known_races``.  Suppression needs
+*both* halves — the declaration locates the words, the config
+authorises the label — so a program cannot silence its own findings.
+Suppressed reports land on :attr:`RaceDetector.suppressed` and the
+``race.suppressed`` counter (outside the violation namespace) instead
+of vanishing.
 """
 
 from __future__ import annotations
@@ -92,6 +102,15 @@ class RaceDetector:
 
     def __init__(self, cluster: "Cluster") -> None:
         self.cluster = cluster
+        #: Labels the configuration accepts as benign (CheckerConfig).
+        #: A bare-bool checker (and the unit-test stub clusters, which
+        #: carry no config at all) allowlists nothing.
+        checker = getattr(getattr(cluster, "config", None), "checker", True)
+        self.known_races: frozenset[str] = frozenset(
+            getattr(checker, "known_races", ())
+        )
+        #: label -> declared word-aligned regions (start, end-exclusive).
+        self._benign_regions: dict[str, list[tuple[int, int]]] = {}
         self.clocks: dict[Pid, VectorClock] = {}
         #: Last released clock per atomic_update record address.
         self.sync_clocks: dict[int, VectorClock] = {}
@@ -105,6 +124,9 @@ class RaceDetector:
         #: Words inside atomic_update records (synchronisation state).
         self.sync_words: set[int] = set()
         self.races: list[RaceReport] = []
+        #: Reports matching a declared + allowlisted benign region:
+        #: suppressed from ``races`` but kept for inspection.
+        self.suppressed: list[RaceReport] = []
         self._reported: set[tuple[str, int, Pid, Pid]] = set()
         self.sync_log: deque[tuple[int, str, int, Pid]] = deque(
             maxlen=SYNC_LOG_WINDOW
@@ -175,6 +197,22 @@ class RaceDetector:
         """Record a synchronisation call for race-report context."""
         self.sync_log.append((self.cluster.sim.now, op, addr, pid))
 
+    def declare_benign_race(self, label: str, addr: int, nbytes: int) -> None:
+        """Declare ``[addr, addr+nbytes)`` as racy by design under
+        ``label``.  The declaration alone changes nothing: reports on
+        these words are suppressed only when the run's
+        ``CheckerConfig.known_races`` also lists the label."""
+        start = addr & ~(WORD - 1)
+        self._benign_regions.setdefault(label, []).append((start, addr + nbytes))
+
+    def _benign_label(self, word: int) -> str | None:
+        """The allowlisted label covering ``word``, if any."""
+        for label in self.known_races:
+            for start, end in self._benign_regions.get(label, ()):
+                if start <= word < end:
+                    return label
+        return None
+
     def register_sync_range(self, addr: int, nbytes: int) -> None:
         """Classify an atomic_update record's words as synchronisation
         state: they are ordered by the record's own release/acquire chain
@@ -242,6 +280,12 @@ class RaceDetector:
             other_epoch=other_epoch,
             sync_log=list(self.sync_log),
         )
+        if self._benign_label(word) is not None:
+            # Declared and allowlisted: count it, keep it inspectable,
+            # but out of the violation namespace.
+            self.suppressed.append(report)
+            self.cluster.nodes[node_id].counters.inc("race.suppressed")
+            return
         self.races.append(report)
         self.cluster.nodes[node_id].counters.inc("violation.race")
 

@@ -215,6 +215,15 @@ class IvyProcessContext:
         """The cluster's race detector, or None when checking is off."""
         return self.ivy.races
 
+    def declare_benign_race(self, label: str, addr: int, nbytes: int) -> None:
+        """Declare ``[addr, addr+nbytes)`` as racy by design under
+        ``label`` (no-op when checking is off).  Reports there are
+        suppressed only when the run's ``CheckerConfig.known_races``
+        also lists the label — the program locates, the config
+        authorises."""
+        if self.ivy.races is not None:
+            self.ivy.races.declare_benign_race(label, addr, nbytes)
+
     @property
     def nnodes(self) -> int:
         return self.ivy.config.nodes

@@ -177,6 +177,10 @@ class TspApp:
         w_addr = yield from ctx.malloc(8 * n * n)
         yield from ctx.write_array(w_addr, self.w)
         best_addr = yield from ctx.malloc(8)
+        # Workers read the incumbent without the lock (a stale bound only
+        # weakens pruning, per the paper); declare it so checked runs can
+        # allowlist the race via CheckerConfig.known_races.
+        ctx.declare_benign_race("tsp.best-bound", best_addr, 8)
         # Start from the nearest-neighbour tour, computed here like any
         # sequential branch-and-bound would.
         yield ctx.flops(self.n * self.n)

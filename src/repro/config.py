@@ -28,6 +28,7 @@ __all__ = [
     "MemoryConfig",
     "SvmConfig",
     "SchedConfig",
+    "CheckerConfig",
     "ClusterConfig",
 ]
 
@@ -188,6 +189,32 @@ class SchedConfig:
 
 
 @dataclass(frozen=True)
+class CheckerConfig:
+    """Fine-grained control over the online correctness checkers.
+
+    ``ClusterConfig.checker`` accepts either a plain bool (all-default
+    checking) or one of these.  Truthiness equals :attr:`enabled`, so
+    existing ``if config.checker`` gates keep working.
+    """
+
+    enabled: bool = True
+    #: Labels of *declared* benign data races.  An application declares a
+    #: race-by-design region with ``ctx.declare_benign_race(label, addr,
+    #: nbytes)`` (e.g. TSP's optimistic best-bound read, label
+    #: ``"tsp.best-bound"``); reports whose racing word falls inside a
+    #: declared region with its label listed here are suppressed —
+    #: recorded on ``RaceDetector.suppressed`` and counted under the
+    #: ``race.suppressed`` counter, but kept out of ``races`` and the
+    #: ``violation.race`` namespace.  Declarations whose labels are not
+    #: listed still report: the allowlist is in the *configuration*, so
+    #: an application cannot silence itself.
+    known_races: tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Complete description of one simulated cluster."""
 
@@ -198,8 +225,10 @@ class ClusterConfig:
     #: vector-clock race detector instruments application accesses.
     #: Checking is pure observation — it never yields simulation effects,
     #: so enabling it cannot change simulated times or event counts; a
-    #: detected violation raises ``InvariantViolation``.
-    checker: bool = False
+    #: detected violation raises ``InvariantViolation``.  Pass a
+    #: :class:`CheckerConfig` instead of ``True`` to tune the checkers
+    #: (e.g. allowlist known-benign application races).
+    checker: bool | CheckerConfig = False
     cpu: CpuConfig = field(default_factory=CpuConfig)
     ring: RingConfig = field(default_factory=RingConfig)
     disk: DiskConfig = field(default_factory=DiskConfig)

@@ -10,9 +10,18 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
-__all__ = ["BROADCAST", "HEADER_BYTES", "Message", "request_size", "reply_size"]
+__all__ = [
+    "BROADCAST",
+    "HEADER_BYTES",
+    "Message",
+    "annotate_op",
+    "delivery_label",
+    "op_page",
+    "request_size",
+    "reply_size",
+]
 
 #: Destination id meaning "every other station on the ring".
 BROADCAST = -1
@@ -55,6 +64,50 @@ class Message:
             f"{self.kind}:{self.op} {self.src}->{self.dst} "
             f"origin={self.origin} id={self.msg_id} {self.nbytes}B"
         )
+
+
+# ---------------------------------------------------------------------------
+# Choice-point annotations.
+#
+# The schedule explorer (repro.analysis.explore) treats two same-tick events
+# as commuting only when it can prove they touch disjoint protocol state; for
+# message deliveries that proof needs the page a message concerns, which only
+# the protocol layer knows.  Each remote op therefore registers a *footprint
+# extractor* here — the registry lives in the net layer (below the svm layer)
+# so the ring and transport can label their delivery events without importing
+# protocol code.  Ops without an extractor simply get no page tag, which the
+# explorer treats conservatively (conflicts with everything).
+
+_PAGE_OF: dict[str, Callable[[Any], Any]] = {}
+
+
+def annotate_op(op: str, page_of: Callable[[Any], Any]) -> None:
+    """Register how to recover the page number from ``op``'s payload."""
+    _PAGE_OF[op] = page_of
+
+
+def op_page(op: str, payload: Any) -> int | None:
+    """The page a message concerns, or None when unknown."""
+    extractor = _PAGE_OF.get(op)
+    if extractor is None:
+        return None
+    try:
+        page = extractor(payload)
+    except Exception:  # noqa: BLE001 - a bad extractor must not kill delivery
+        return None
+    return page if isinstance(page, int) else None
+
+
+def delivery_label(target: int, msg: Message) -> str:
+    """Scheduling label for delivering ``msg`` at station ``target``.
+
+    The ``n<target>``/``p<page>`` tokens are what the explorer's
+    independence relation parses; the trailing ``o<origin>.<msg_id>``
+    keeps labels unique per in-flight message.
+    """
+    page = op_page(msg.op, msg.payload)
+    ptag = "p?" if page is None else f"p{page}"
+    return f"deliver:n{target}:{ptag}:{msg.kind}:{msg.op}:o{msg.origin}.{msg.msg_id}"
 
 
 def request_size(arg_bytes: int = 0) -> int:

@@ -21,7 +21,7 @@ from typing import Callable
 import numpy as np
 
 from repro.config import RingConfig
-from repro.net.packet import BROADCAST, Message
+from repro.net.packet import BROADCAST, Message, delivery_label
 from repro.sim.kernel import Simulator
 from repro.sim.trace import NULL_TRACE, TraceRecorder
 
@@ -65,6 +65,12 @@ class TokenRing:
         self.stats = RingStats()
         self._receivers: dict[int, Callable[[Message], None]] = {}
         self._free_at = 0  # medium is idle from this time onward
+        #: Deterministic drop hook for the schedule explorer's delay-
+        #: injection strategy: consulted once per (msg, target) delivery
+        #: attempt *before* the random loss draw; returning True drops the
+        #: frame (the transport's retransmission protocol recovers it,
+        #: creating the delayed/reordered delivery being explored).
+        self.drop_policy: Callable[[Message, int], bool] | None = None
 
     # ------------------------------------------------------------------
 
@@ -115,12 +121,16 @@ class TokenRing:
                 kind=msg.kind, nbytes=msg.nbytes, arrival=arrival,
             )
         for target in targets:
-            if self._drop():
+            forced = self.drop_policy is not None and self.drop_policy(msg, target)
+            if forced or self._drop():
                 self.stats.lost_frames += 1
                 if self.trace:
                     self.trace.emit("ring.drop", src=msg.src, dst=target, op=msg.op)
                 continue
-            self.sim.schedule_at(arrival, self._deliver, target, msg)
+            self.sim.schedule_at(
+                arrival, self._deliver, target, msg,
+                label=delivery_label(target, msg),
+            )
 
     def _drop(self) -> bool:
         loss = self.config.loss_rate

@@ -33,7 +33,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator
 
 from repro.config import MICROSECOND, ClusterConfig
-from repro.net.packet import BROADCAST, HEADER_BYTES, Message
+from repro.net.packet import BROADCAST, HEADER_BYTES, Message, delivery_label, op_page
 from repro.net.ring import TokenRing
 from repro.sim.kernel import CancelHandle, Simulator
 from repro.sim.process import Compute, Effect, SimDriver
@@ -302,13 +302,24 @@ class Transport:
     def _transmit(self, msg: Message) -> None:
         msg.load_hint = self.load_provider()
         if msg.dst == self.node_id:
-            self.sim.schedule(LOCAL_DELIVERY_NS, self._on_message, msg)
+            self.sim.schedule(
+                LOCAL_DELIVERY_NS, self._on_message, msg,
+                label=delivery_label(self.node_id, msg),
+            )
         else:
             self.ring.send(msg)
 
     def _arm_timer(self, pending: _Pending) -> None:
+        # The timer event is labelled so the schedule explorer can order a
+        # retransmission against same-tick deliveries: a retransmitted
+        # request racing its own original (or a stale reply) is exactly
+        # the reordering the delay-injection strategy exists to exercise.
+        msg = pending.msg
+        page = op_page(msg.op, msg.payload)
+        ptag = "p?" if page is None else f"p{page}"
         pending.timer = self.sim.schedule(
-            self.config.retransmit_timeout, self._retransmit, pending
+            self.config.retransmit_timeout, self._retransmit, pending,
+            label=f"retransmit:n{self.node_id}:{ptag}:{msg.op}:o{msg.origin}.{msg.msg_id}",
         )
 
     def _retransmit(self, pending: _Pending) -> None:

@@ -5,6 +5,13 @@ The simulator is a classic calendar loop: a binary heap of
 counter so that events scheduled at the same tick fire in scheduling
 order — this is what makes every run bit-for-bit reproducible.
 
+Same-tick ordering is also the *only* nondeterminism a distributed
+schedule has in this model, which makes it a controlled choice point:
+installing a :class:`Scheduler` on :attr:`Simulator.scheduler` lets a
+model checker (`repro.analysis.explore`) pick which of several events
+tied at one tick fires first.  With no scheduler installed the loop is
+untouched — seq order, bit-for-bit identical to the historical behavior.
+
 Global deadlock is *detectable*: if the heap drains while registered
 tasks are still blocked, :meth:`Simulator.run` raises
 :class:`DeadlockError` listing the stuck tasks.  The coherence-protocol
@@ -15,15 +22,15 @@ shrinkable failures instead of hangs.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Sequence
 
-__all__ = ["Simulator", "DeadlockError", "CancelHandle"]
+__all__ = ["Simulator", "DeadlockError", "CancelHandle", "PendingEvent", "Scheduler"]
 
 
 class DeadlockError(RuntimeError):
     """The event queue drained while tasks were still blocked."""
 
-    def __init__(self, blocked: Iterable[Any]):
+    def __init__(self, blocked: Iterable[Any]) -> None:
         self.blocked = list(blocked)
         names = ", ".join(str(t) for t in self.blocked) or "<unknown>"
         super().__init__(f"simulation deadlock: event queue empty with blocked tasks: {names}")
@@ -42,12 +49,51 @@ class CancelHandle:
         self.cancelled = True
 
 
+class PendingEvent:
+    """One live event offered to a :class:`Scheduler` at a choice point.
+
+    ``seq`` is the event's global sequence number (the default tiebreak:
+    the event with the lowest ``seq`` is what an uncontrolled run would
+    fire).  ``label`` is the scheduling annotation supplied at
+    :meth:`Simulator.schedule` time — e.g. ``deliver:n1:p0:...`` for a
+    message delivery — which is what lets an explorer decide whether two
+    choices commute.
+    """
+
+    __slots__ = ("seq", "label")
+
+    def __init__(self, seq: int, label: str | None) -> None:
+        self.seq = seq
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PendingEvent(seq={self.seq}, label={self.label!r})"
+
+
+class Scheduler:
+    """Same-tick ordering policy, consulted only when installed.
+
+    :meth:`choose` is called whenever two or more live events are ready
+    at the same tick; it returns the index (into ``events``, which is
+    sorted by ``seq``) of the event to fire next.  The remaining events
+    stay queued at the same tick with their original sequence numbers,
+    so the scheduler is consulted again — with whatever new same-tick
+    events the fired one scheduled — until the tick drains.  Returning 0
+    everywhere reproduces the default seq order exactly.
+    """
+
+    def choose(self, now: int, events: Sequence[PendingEvent]) -> int:
+        raise NotImplementedError
+
+
 class Simulator:
     """A deterministic discrete-event simulator with an integer clock."""
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: list[tuple[int, int, CancelHandle, Callable[..., None], tuple]] = []
+        self._heap: list[
+            tuple[int, int, CancelHandle, Callable[..., None], tuple[Any, ...], str | None]
+        ] = []
         self._seq: int = 0
         #: Number of events executed so far (profiling / regression metric).
         self.events_executed: int = 0
@@ -56,25 +102,35 @@ class Simulator:
         self._watched: list[Any] = []
         #: First unhandled exception raised by a task, re-raised by run().
         self._failure: BaseException | None = None
+        #: Same-tick ordering policy.  None (the default) keeps the
+        #: historical seq order on the untouched fast path; the schedule
+        #: explorer installs one to turn ties into choice points.
+        self.scheduler: Scheduler | None = None
 
     # ------------------------------------------------------------------
     # scheduling
 
-    def schedule(self, delay: int, fn: Callable[..., None], *args: Any) -> CancelHandle:
+    def schedule(
+        self, delay: int, fn: Callable[..., None], *args: Any, label: str | None = None
+    ) -> CancelHandle:
         """Schedule ``fn(*args)`` to run ``delay`` ticks from now.
 
         ``delay`` must be non-negative.  Returns a :class:`CancelHandle`.
+        ``label`` annotates the event for a :class:`Scheduler` (unused —
+        and free — when no scheduler is installed).
         """
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         handle = CancelHandle()
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, handle, fn, args))
+        heapq.heappush(self._heap, (self.now + delay, self._seq, handle, fn, args, label))
         return handle
 
-    def schedule_at(self, when: int, fn: Callable[..., None], *args: Any) -> CancelHandle:
+    def schedule_at(
+        self, when: int, fn: Callable[..., None], *args: Any, label: str | None = None
+    ) -> CancelHandle:
         """Schedule ``fn(*args)`` at absolute time ``when`` (>= now)."""
-        return self.schedule(when - self.now, fn, *args)
+        return self.schedule(when - self.now, fn, *args, label=label)
 
     # ------------------------------------------------------------------
     # deadlock bookkeeping
@@ -101,21 +157,82 @@ class Simulator:
         :class:`DeadlockError` if the queue drains with blocked tasks, and
         re-raises the first unhandled task exception.
         """
+        if self.scheduler is not None:
+            return self._run_controlled(self.scheduler, until, max_events)
         heap = self._heap
         budget = max_events
         while heap:
             if self._failure is not None:
                 exc, self._failure = self._failure, None
                 raise exc
-            when, _seq, handle, fn, args = heapq.heappop(heap)
+            when, _seq, handle, fn, args, label = heapq.heappop(heap)
             if handle.cancelled:
                 continue
             if until is not None and when > until:
                 # Put it back; we stop the clock at `until`.
                 self._seq += 1
-                heapq.heappush(heap, (when, _seq, handle, fn, args))
+                heapq.heappush(heap, (when, _seq, handle, fn, args, label))
                 self.now = until
                 return self.now
+            self.now = when
+            self.events_executed += 1
+            fn(*args)
+            if budget is not None:
+                budget -= 1
+                if budget <= 0:
+                    return self.now
+        if self._failure is not None:
+            exc, self._failure = self._failure, None
+            raise exc
+        blocked = [t for t in self._watched if getattr(t, "is_blocked", False)]
+        if blocked and until is None:
+            raise DeadlockError(blocked)
+        return self.now
+
+    def _run_controlled(
+        self, scheduler: Scheduler, until: int | None, max_events: int | None
+    ) -> int:
+        """The run loop with same-tick ordering delegated to ``scheduler``.
+
+        Mirrors :meth:`run` exactly except that when several live events
+        share the front tick, the scheduler picks which fires; the rest
+        are re-queued with their original sequence numbers.  Cancellation
+        still wins against a same-tick fire: tombstones are filtered both
+        while gathering the tick's batch and again after re-queueing (a
+        chosen event that cancels a sibling prevents it from running).
+        """
+        heap = self._heap
+        budget = max_events
+        while heap:
+            if self._failure is not None:
+                exc, self._failure = self._failure, None
+                raise exc
+            when = heap[0][0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            batch = []
+            while heap and heap[0][0] == when:
+                entry = heapq.heappop(heap)
+                if not entry[2].cancelled:
+                    batch.append(entry)
+            if not batch:
+                continue
+            if len(batch) == 1:
+                index = 0
+            else:
+                index = scheduler.choose(
+                    when, [PendingEvent(e[1], e[5]) for e in batch]
+                )
+                if not 0 <= index < len(batch):
+                    raise IndexError(
+                        f"scheduler chose {index} of {len(batch)} events at t={when}"
+                    )
+            chosen = batch[index]
+            for pos, entry in enumerate(batch):
+                if pos != index:
+                    heapq.heappush(heap, entry)
+            _when, _seq, _handle, fn, args, _label = chosen
             self.now = when
             self.events_executed += 1
             fn(*args)

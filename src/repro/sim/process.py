@@ -253,20 +253,20 @@ class SimDriver(Driver):
         """Create a task and schedule its first step at the current time."""
         task = Task(gen, self, name)
         self.sim.watch(task)
-        self.sim.schedule(0, task.step, None)
+        self.sim.schedule(0, task.step, None, label=f"task:{task.name}")
         return task
 
     def handle(self, task: Task, effect: Effect) -> None:
         if isinstance(effect, (Compute, Sleep)):
             task.state = TaskState.BLOCKED
-            self.sim.schedule(effect.ns, self._resume, task, None)
+            self.sim.schedule(effect.ns, self._resume, task, None, label=f"task:{task.name}")
         elif isinstance(effect, Suspend):
             task.state = TaskState.BLOCKED
             if effect.register is not None:
                 effect.register(task)
         elif isinstance(effect, YieldCpu):
             task.state = TaskState.READY
-            self.sim.schedule(0, self._resume, task, None)
+            self.sim.schedule(0, self._resume, task, None, label=f"task:{task.name}")
         else:  # pragma: no cover - Effect subclasses are closed
             raise TypeError(f"unknown effect {effect!r}")
 
@@ -274,7 +274,7 @@ class SimDriver(Driver):
         if task.done:
             return
         task.state = TaskState.READY
-        self.sim.schedule(0, self._resume, task, value)
+        self.sim.schedule(0, self._resume, task, value, label=f"wake:{task.name}")
 
     def _resume(self, task: Task, value: Any) -> None:
         if not task.done:
@@ -287,7 +287,7 @@ class SimDriver(Driver):
         self.sim.report_failure(failure)
 
 
-def run_to_completion(gen: Iterator, sim: Simulator | None = None) -> Any:
+def run_to_completion(gen: Iterator[Any], sim: Simulator | None = None) -> Any:
     """Convenience for tests: run one generator task to completion."""
     sim = sim or Simulator()
     driver = SimDriver(sim)

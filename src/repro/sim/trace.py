@@ -27,6 +27,10 @@ Protocol-transition categories (consumed by ``repro.analysis``):
 
 Recorded streams round-trip through :meth:`save` / :meth:`load` (JSON
 lines) so ``python -m repro.analysis replay`` can check them offline.
+The same JSONL conventions (one record per line, sets sorted, bytes as
+integer lists — see :func:`jsonable`) are used by the schedule
+explorer's counterexample artifacts (``repro.analysis.explore``), so a
+violating schedule and the trace it produced stay mutually replayable.
 """
 
 from __future__ import annotations
@@ -35,7 +39,7 @@ import json
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
-__all__ = ["TraceEvent", "TraceRecorder", "NULL_TRACE", "UNSTAMPED"]
+__all__ = ["TraceEvent", "TraceRecorder", "NULL_TRACE", "UNSTAMPED", "jsonable"]
 
 #: Timestamp of events emitted before a clock was bound: recorders used
 #: before cluster boot mark their events rather than claiming time 0.
@@ -139,12 +143,19 @@ class TraceRecorder:
         return rec
 
 
-def _jsonable(value: Any) -> Any:
+def jsonable(value: Any) -> Any:
+    """``json.dumps(..., default=jsonable)`` fallback shared by trace
+    streams and the schedule explorer's artifacts: sets serialise sorted
+    (deterministic output), bytes as integer lists."""
     if isinstance(value, (set, frozenset)):
         return sorted(value)
     if isinstance(value, bytes):
         return list(value)
     raise TypeError(f"unserialisable trace field {value!r}")
+
+
+#: Backwards-compatible private alias (pre-explorer name).
+_jsonable = jsonable
 
 
 #: Shared disabled recorder — the default for non-test runs.

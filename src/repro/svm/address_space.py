@@ -24,7 +24,7 @@ memory and what keeps the simulation fast (guide rule: vectorise).
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Callable, Generator
 
 import numpy as np
 
@@ -79,7 +79,10 @@ class SharedAddressSpace:
         protocol = self.protocol
         for page, off, boff, length in self.layout.spans(addr, nbytes):
             if protocol.update_policy:
-                def writer(frame, off=off, boff=boff, length=length):
+                def writer(
+                    frame: np.ndarray, off: int = off, boff: int = boff,
+                    length: int = length,
+                ) -> None:
                     frame[off : off + length] = buf[boff : boff + length]
 
                 yield from protocol.locked_store(page, writer)
@@ -146,7 +149,10 @@ class SharedAddressSpace:
         for page, off, boff, length in self.layout.spans(addr, nbytes):
             pages += 1
             if protocol.update_policy:
-                def writer(frame, off=off, boff=boff, length=length):
+                def writer(
+                    frame: np.ndarray, off: int = off, boff: int = boff,
+                    length: int = length,
+                ) -> None:
                     frame[off : off + length] = buf[boff : boff + length]
 
                 yield from protocol.locked_store(page, writer)
@@ -178,7 +184,7 @@ class SharedAddressSpace:
     # atomic single-page sections (substrate for repro.sync)
 
     def atomic_update(
-        self, addr: int, nbytes: int, fn
+        self, addr: int, nbytes: int, fn: Callable[[np.ndarray], Any]
     ) -> Generator[Effect, Any, Any]:
         """Atomically read-modify-write ``nbytes`` at ``addr``.
 

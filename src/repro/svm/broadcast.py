@@ -15,6 +15,8 @@ dynamic algorithms.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.svm.page import PageTableEntry
 from repro.svm.protocol import CoherenceProtocol, ProtocolError
 
@@ -26,6 +28,12 @@ class BroadcastProtocol(CoherenceProtocol):
 
     name = "broadcast"
     locates_by_broadcast = True
+
+    #: Choice-point annotation for the schedule explorer: the broadcast
+    #: manager keeps no ownership state at all beyond the page-table
+    #: entries, so the base page-granular footprints need no additions
+    #: (location broadcasts are already annotated via OP_LOCATE).
+    SCHED_FOOTPRINTS: dict[str, Any] = {}
 
     def fault_target(self, page: int, entry: PageTableEntry, write: bool) -> int:
         raise ProtocolError(

@@ -15,6 +15,8 @@ the owner or the requester co-resides with the manager, otherwise 3
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.svm.page import PageTableEntry
 from repro.svm.protocol import CoherenceProtocol, ProtocolError
 
@@ -26,7 +28,14 @@ class CentralizedProtocol(CoherenceProtocol):
 
     name = "centralized"
 
-    def __init__(self, **kwargs) -> None:
+    #: Choice-point annotation for the schedule explorer: no ops beyond
+    #: the base protocol's, and the manager's ``_owners`` table is keyed
+    #: per page, so the base page-granular footprints remain sound — two
+    #: same-tick deliveries for different pages commute even when both
+    #: land on the manager and update its table.
+    SCHED_FOOTPRINTS: dict[str, Any] = {}
+
+    def __init__(self, **kwargs: Any) -> None:
         super().__init__(**kwargs)
         self.manager_node = self.config.svm.manager_node
         #: Owner table; exists (and is consulted) only on the manager.

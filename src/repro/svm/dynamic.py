@@ -24,7 +24,10 @@ system by O(N + K log N) messages under this policy.
 
 from __future__ import annotations
 
+from typing import Any, Generator
+
 from repro.net.packet import request_size
+from repro.sim.process import Effect
 from repro.svm.page import PageTableEntry
 from repro.svm.protocol import CoherenceProtocol, ProtocolError
 
@@ -45,12 +48,17 @@ class DynamicDistributedProtocol(CoherenceProtocol):
 
     name = "dynamic"
 
-    def __init__(self, **kwargs) -> None:
+    #: Choice-point annotation for the schedule explorer: a hint refresh
+    #: only touches the named page's probOwner field, so its delivery
+    #: commutes with deliveries for other pages / other nodes.
+    SCHED_FOOTPRINTS = {OP_HINT: lambda payload: payload[0]}
+
+    def __init__(self, **kwargs: Any) -> None:
         super().__init__(**kwargs)
         self.broadcast_period = self.config.svm.dynamic_broadcast_period
         self.remote.register(OP_HINT, self._serve_hint)
 
-    def on_became_owner(self, page, entry) -> None:
+    def on_became_owner(self, page: int, entry: PageTableEntry) -> None:
         period = self.broadcast_period
         if period and self.nnodes > 1 and entry.xfer_count % period == 0:
             # Fire-and-forget: a hint refresh must not sit on the fault's
@@ -60,12 +68,14 @@ class DynamicDistributedProtocol(CoherenceProtocol):
             )
             self.counters.inc("hint_broadcasts")
 
-    def _broadcast_hint(self, page: int):
+    def _broadcast_hint(self, page: int) -> Generator[Effect, Any, None]:
         yield from self.remote.broadcast(
             OP_HINT, (page, self.node_id), nbytes=request_size(16), scheme="none"
         )
 
-    def _serve_hint(self, origin: int, payload: tuple[int, int]):
+    def _serve_hint(
+        self, origin: int, payload: tuple[int, int]
+    ) -> Generator[Effect, Any, None]:
         """Lock-free hint refresh (same discipline as invalidation)."""
         page, owner = payload
         entry = self.table.entry(page)

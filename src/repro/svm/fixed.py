@@ -10,6 +10,8 @@ manager, but the management bottleneck is spread over all processors.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.svm.page import PageTableEntry
 from repro.svm.protocol import CoherenceProtocol, ProtocolError
 
@@ -21,7 +23,13 @@ class FixedDistributedProtocol(CoherenceProtocol):
 
     name = "fixed"
 
-    def __init__(self, **kwargs) -> None:
+    #: Choice-point annotation for the schedule explorer: like the
+    #: centralized manager, the per-node ``_owners`` table is keyed per
+    #: page (H distributes whole pages), so the base protocol's
+    #: page-granular delivery footprints stay sound under this algorithm.
+    SCHED_FOOTPRINTS: dict[str, Any] = {}
+
+    def __init__(self, **kwargs: Any) -> None:
         super().__init__(**kwargs)
         #: Owner table for the pages this node manages (H(p) == node_id).
         self._owners: dict[int, int] = {}

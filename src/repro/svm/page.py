@@ -21,6 +21,8 @@ lets experiments declare a 64 MB shared space without materialising it.
 
 from __future__ import annotations
 
+from typing import Any, Callable
+
 from repro.machine.mmu import Access
 from repro.sim.sync import SimLock
 
@@ -60,7 +62,7 @@ class PageTableEntry:
         it holds the sole copy, READ while read copies are outstanding."""
         return Access.READ if self.copy_set else Access.WRITE
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """Plain-data view of the entry (violation reports, assertions)."""
         return {
             "access": self.access.name,
@@ -94,9 +96,11 @@ class PageTable:
         self.npages = npages
         self.default_owner = default_owner
         self._entries: dict[int, PageTableEntry] = {}
-        self._observer = None
+        self._observer: Callable[[int, int, PageTableEntry], None] | None = None
 
-    def attach_observer(self, observer) -> None:
+    def attach_observer(
+        self, observer: Callable[[int, int, PageTableEntry], None]
+    ) -> None:
         """Register a callback ``observer(node_id, page, entry)`` invoked
         whenever an entry materialises.  The coherence oracle uses this to
         start shadowing a page the moment any node first touches it."""

@@ -33,7 +33,7 @@ transfers Table 1 counts.
 
 from __future__ import annotations
 
-from typing import Any, Generator
+from typing import Any, Callable, Generator
 
 import numpy as np
 
@@ -42,7 +42,7 @@ from repro.machine.memory import PhysicalMemory
 from repro.machine.mmu import Access, AddressLayout
 from repro.machine.pager import Pager
 from repro.metrics.collect import Counters
-from repro.net.packet import request_size
+from repro.net.packet import annotate_op, request_size
 from repro.net.remoteop import Forward, NO_REPLY, RemoteOp, Reply
 from repro.sim.kernel import Simulator
 from repro.sim.process import Compute, Effect
@@ -65,6 +65,22 @@ RETRY = "svm.retry"
 #: Wire size of a fault request: header + page number.
 FAULT_REQUEST_BYTES = request_size(8)
 
+# ---------------------------------------------------------------------------
+# Choice-point annotations (consumed by repro.analysis.explore).
+#
+# Every remote op declares how to recover the page it concerns from its
+# payload, so the net layer can stamp each delivery event with a
+# ``p<page>`` footprint and the schedule explorer can prove that two
+# same-tick deliveries commute (different target node AND different
+# page).  Manager algorithms contribute their private ops through the
+# ``SCHED_FOOTPRINTS`` class attribute (registered at construction).
+annotate_op(OP_READ, lambda page: page)
+annotate_op(OP_WRITE, lambda page: page)
+annotate_op(OP_CHOWN, lambda page: page)
+annotate_op(OP_LOCATE, lambda page: page)
+annotate_op(OP_INV, lambda payload: payload[0])
+annotate_op(OP_UPDATE, lambda payload: payload[0])
+
 
 class ProtocolError(RuntimeError):
     """An invariant of the coherence protocol was violated."""
@@ -81,6 +97,14 @@ class CoherenceProtocol:
     """
 
     name = "base"
+
+    #: Page-footprint extractors for ops *this algorithm* adds beyond the
+    #: base protocol's, keyed by op name — the schedule explorer's
+    #: choice-point annotation (see the module-level ``annotate_op``
+    #: calls).  An algorithm whose extra state is keyed by something the
+    #: explorer cannot see must leave its ops out, which the explorer
+    #: treats conservatively (the delivery commutes with nothing).
+    SCHED_FOOTPRINTS: dict[str, Any] = {}
 
     def __init__(
         self,
@@ -114,6 +138,8 @@ class CoherenceProtocol:
         #: run inside servers and fault handlers without perturbing
         #: simulated time.
         self.checker = None
+        for op, page_of in type(self).SCHED_FOOTPRINTS.items():
+            annotate_op(op, page_of)
         remote.register(OP_READ, self._serve_read)
         remote.register(OP_WRITE, self._serve_write)
         remote.register(OP_INV, self._serve_inv)
@@ -640,7 +666,9 @@ class CoherenceProtocol:
             nbytes=self.page_size + 48,
         )
 
-    def locked_store(self, page: int, writer) -> Generator[Effect, Any, None]:
+    def locked_store(
+        self, page: int, writer: Callable[[np.ndarray], None]
+    ) -> Generator[Effect, Any, None]:
         """Write-policy-aware store: take the page lock, get write access,
         apply ``writer(frame)`` (plain code), and push updates to copy
         holders (update policy only).  The invalidation policy's stores
@@ -736,7 +764,7 @@ class CoherenceProtocol:
             entry.lock.release()
 
 
-def make_protocol(algorithm: str, **kwargs) -> CoherenceProtocol:
+def make_protocol(algorithm: str, **kwargs: Any) -> CoherenceProtocol:
     """Instantiate the named coherence algorithm for one node."""
     from repro.svm.broadcast import BroadcastProtocol
     from repro.svm.centralized import CentralizedProtocol

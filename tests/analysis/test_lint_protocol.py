@@ -89,6 +89,90 @@ def test_suppression_comment_is_honoured(tmp_path):
     assert lint.lint_paths([str(handed)]) == []
 
 
+def test_flags_return_inside_generator_finally(tmp_path):
+    bad = tmp_path / "swallow.py"
+    bad.write_text(
+        "class P:\n"
+        "    def fault(self, page):\n"
+        "        yield from self.fetch(page)\n"
+        "        try:\n"
+        "            yield from self.apply(page)\n"
+        "        finally:\n"
+        "            return None\n"  # swallows violations / cancellation
+    )
+    findings = lint.lint_paths([str(bad)])
+    assert len(findings) == 1
+    assert "finally" in findings[0]
+    assert "fault" in findings[0]
+
+
+def test_return_in_finally_of_plain_function_is_fine(tmp_path):
+    # The rule targets effect generators; plain helpers are out of scope.
+    ok = tmp_path / "plain.py"
+    ok.write_text(
+        "def helper():\n"
+        "    try:\n"
+        "        pass\n"
+        "    finally:\n"
+        "        return 1\n"
+    )
+    assert lint.lint_paths([str(ok)]) == []
+
+
+def test_nested_def_does_not_make_the_outer_function_a_generator(tmp_path):
+    ok = tmp_path / "nested.py"
+    ok.write_text(
+        "def outer():\n"
+        "    def gen():\n"
+        "        yield 1\n"
+        "    try:\n"
+        "        pass\n"
+        "    finally:\n"
+        "        return gen\n"  # outer is not a generator: allowed
+    )
+    assert lint.lint_paths([str(ok)]) == []
+
+
+def test_flags_unbalanced_page_write_section(tmp_path):
+    bad = tmp_path / "bad_section.py"
+    bad.write_text(
+        "class S:\n"
+        "    def update(self, page):\n"
+        "        entry = yield from self.protocol.acquire_page_write(page)\n"
+        "        self.mutate(entry)\n"
+        "        self.protocol.release_page_write(page)\n"  # not in finally
+    )
+    findings = lint.lint_paths([str(bad)])
+    assert len(findings) == 1
+    assert "release_page_write" in findings[0]
+
+
+def test_accepts_balanced_page_write_section(tmp_path):
+    good = tmp_path / "good_section.py"
+    good.write_text(
+        "class S:\n"
+        "    def update(self, page):\n"
+        "        entry = yield from self.protocol.acquire_page_write(page)\n"
+        "        try:\n"
+        "            self.mutate(entry)\n"
+        "        finally:\n"
+        "            self.protocol.release_page_write(page)\n"
+    )
+    assert lint.lint_paths([str(good)]) == []
+
+
+def test_page_write_handoff_suppression_is_honoured(tmp_path):
+    handed = tmp_path / "handed_section.py"
+    handed.write_text(
+        "class S:\n"
+        "    def begin(self, page):\n"
+        "        entry = yield from self.protocol.acquire_page_write(page)  "
+        "# lint: keeps-lock\n"
+        "        return entry\n"
+    )
+    assert lint.lint_paths([str(handed)]) == []
+
+
 def test_cli_exit_codes(tmp_path, capsys):
     assert lint.main([str(ROOT / "src" / "repro" / "svm")]) == 0
     assert "clean" in capsys.readouterr().out

@@ -185,3 +185,91 @@ def test_report_format_mentions_word_and_processes():
     text = det.races[0].format()
     assert "0x400" in text
     assert "lock.acquire" in text
+
+
+# ----------------------------------------------------------------------
+# benign-race allowlisting (CheckerConfig.known_races)
+
+
+class DeclaredCounterApp(CounterApp):
+    """The unlocked racy counter, but the program declares the race as
+    intentional under the label ``"app.stat"``."""
+
+    def __init__(self) -> None:
+        super().__init__(locked=False)
+
+    def main(self, ctx):
+        counter = yield from ctx.malloc(8)
+        ctx.declare_benign_race("app.stat", counter, 8)
+        yield from ctx.mem.write_i64(counter, 0)
+        lock = yield from ctx.malloc(LOCK_RECORD_BYTES)
+        yield from lock_init(ctx, lock)
+        done = yield from alloc_done_ec(ctx)
+        for k in range(2):
+            yield from ctx.spawn(self._worker, counter, lock, done, on=k % ctx.nnodes)
+        yield from wait_done(ctx, done, 2)
+        total = yield from ctx.mem.read_i64(counter)
+        return counter, total
+
+
+def test_allowlisted_race_is_suppressed_yet_counted():
+    from repro.config import CheckerConfig
+
+    ivy = Ivy(
+        ClusterConfig(nodes=2, checker=CheckerConfig(known_races=("app.stat",)))
+    )
+    ivy.run(DeclaredCounterApp().main)
+    det = ivy.races
+    assert det.races == [], "allowlisted reports must leave the findings list"
+    assert det.suppressed, "the race still happened; it is only reclassified"
+    counters = ivy.cluster.total_counters()
+    assert counters["race.suppressed"] == len(det.suppressed)
+    assert counters.violations() == {}  # out of the violation namespace
+
+
+def test_declaration_without_allowlist_still_reports():
+    """The program's declaration alone must not silence anything — the
+    run's configuration has to list the label too."""
+    ivy = Ivy(ClusterConfig(nodes=2, checker=True))
+    ivy.run(DeclaredCounterApp().main)
+    assert ivy.races.suppressed == []
+    assert ivy.races.races, "undeclared-in-config races keep reporting"
+    assert ivy.cluster.total_counters().violations().keys() == {"race"}
+
+
+def test_allowlist_without_declaration_suppresses_nothing():
+    from repro.config import CheckerConfig
+
+    ivy = Ivy(
+        ClusterConfig(nodes=2, checker=CheckerConfig(known_races=("app.stat",)))
+    )
+    counter, total = ivy.run(CounterApp(locked=False).main)
+    assert ivy.races.suppressed == []
+    assert ivy.races.races  # no region was declared: nothing matches
+
+
+def test_checker_config_truthiness_gates_the_checkers():
+    from repro.config import CheckerConfig
+
+    assert not Ivy(ClusterConfig(nodes=2, checker=CheckerConfig(enabled=False))).races
+    assert Ivy(ClusterConfig(nodes=2, checker=CheckerConfig())).races is not None
+
+
+def test_tsp_best_bound_allowlist_clears_the_report():
+    """The motivating case: TSP's optimistic best-bound read is racy by
+    design; allowlisting ``tsp.best-bound`` leaves a checked TSP run
+    with an empty violation namespace."""
+    from repro.apps.tsp import TspApp
+    from repro.config import CheckerConfig
+
+    app = TspApp(3, ncities=7)
+    config = ClusterConfig(
+        nodes=3, checker=CheckerConfig(known_races=("tsp.best-bound",))
+    )
+    ivy = Ivy(config)
+    app.check(ivy.run(app.main))
+    assert ivy.races.races == []
+    assert ivy.cluster.total_counters().violations() == {}
+    assert len(ivy.races.suppressed) == ivy.cluster.total_counters()[
+        "race.suppressed"
+    ]

@@ -2,7 +2,21 @@
 
 import pytest
 
-from repro.sim.kernel import DeadlockError, Simulator
+from repro.sim.kernel import DeadlockError, Scheduler, Simulator
+
+
+class FirstChoice(Scheduler):
+    """Always index 0 — reproduces the default seq order."""
+
+    def choose(self, now, events):
+        return 0
+
+
+class LastChoice(Scheduler):
+    """Always the highest seq — the maximally reordered schedule."""
+
+    def choose(self, now, events):
+        return len(events) - 1
 
 
 def test_events_run_in_time_order():
@@ -111,3 +125,103 @@ def test_no_deadlock_when_watched_tasks_unblocked():
     sim.watch(Fine())
     sim.schedule(1, lambda: None)
     assert sim.run() == 1
+
+
+# ----------------------------------------------------------------------
+# same-tick cancellation races
+
+
+def _cancel_race(scheduler):
+    """Event ``a`` fires at t=5 and cancels its same-tick sibling ``b``."""
+    sim = Simulator()
+    sim.scheduler = scheduler
+    fired = []
+    handles = {}
+
+    def a():
+        fired.append("a")
+        handles["b"].cancel()
+
+    sim.schedule(5, a)
+    handles["b"] = sim.schedule(5, fired.append, "b")
+    sim.run()
+    return fired
+
+
+def test_cancellation_racing_same_tick_fire_default_mode():
+    assert _cancel_race(None) == ["a"]
+
+
+def test_cancellation_racing_same_tick_fire_controlled_mode():
+    """In controlled mode the tick's batch is gathered *before* the
+    chosen event runs; a sibling cancelled by the fired event must still
+    be suppressed when it comes back off the heap."""
+    assert _cancel_race(FirstChoice()) == ["a"]
+
+
+def test_reordered_cancellation_kills_the_earlier_sibling():
+    """The scheduler fires the later-scheduled event first; if it
+    cancels the earlier one, the earlier event must never run even
+    though it was already popped into the batch."""
+    sim = Simulator()
+    sim.scheduler = LastChoice()
+    fired = []
+    handle_a = sim.schedule(5, fired.append, "a")
+
+    def b():
+        fired.append("b")
+        handle_a.cancel()
+
+    sim.schedule(5, b)
+    sim.run()
+    assert fired == ["b"]
+
+
+def test_controlled_mode_rejects_out_of_range_choice():
+    class Bad(Scheduler):
+        def choose(self, now, events):
+            return len(events)  # one past the end
+
+    sim = Simulator()
+    sim.scheduler = Bad()
+    sim.schedule(1, lambda: None)
+    sim.schedule(1, lambda: None)
+    with pytest.raises(IndexError):
+        sim.run()
+
+
+# ----------------------------------------------------------------------
+# deadlock reporting
+
+
+class _Stuck:
+    is_blocked = True
+
+    def __init__(self, name):
+        self.name = name
+
+    def __str__(self):
+        return self.name
+
+
+@pytest.mark.parametrize("scheduler", [None, FirstChoice()])
+def test_deadlock_error_lists_every_blocked_task(scheduler):
+    """The error must name *all* blocked watched tasks (not just the
+    first) and exclude the runnable ones — that list is what the
+    schedule explorer records as the deadlock's witness."""
+    sim = Simulator()
+    sim.scheduler = scheduler
+    stuck = [_Stuck("worker-1"), _Stuck("worker-2"), _Stuck("worker-3")]
+
+    class Fine:
+        is_blocked = False
+
+    for task in stuck:
+        sim.watch(task)
+    sim.watch(Fine())
+    sim.schedule(1, lambda: None)
+    with pytest.raises(DeadlockError) as excinfo:
+        sim.run()
+    assert excinfo.value.blocked == stuck
+    for name in ("worker-1", "worker-2", "worker-3"):
+        assert name in str(excinfo.value)

@@ -22,6 +22,21 @@ rule 2 — balanced entry locks
     (``acquire_page_write``) annotate the acquire statement with
     ``# lint: keeps-lock``.
 
+rule 3 — no ``return`` inside a generator's ``finally``
+    Protocol handlers are effect generators; a ``return`` in a
+    ``finally`` silently replaces whatever was in flight — a propagating
+    ``InvariantViolation``, a ``TaskFailure``, even the generator's own
+    ``GeneratorExit`` — with a normal return, so the checker's finding
+    (or the simulator's cancellation) vanishes.  The ``finally`` of an
+    effect generator may only clean up.
+
+rule 4 — balanced page-write sections
+    ``acquire_page_write(...)`` pins the page and holds its entry lock
+    *cluster-wide*; every call must be followed by a ``try``/``finally``
+    whose ``finally`` calls ``release_page_write`` (the shape of
+    ``SharedAddressSpace.atomic_update``).  The same
+    ``# lint: keeps-lock`` annotation marks intentional hand-offs.
+
 Usage::
 
     python tools/lint_protocol.py [paths...]   # default: src/repro/svm
@@ -55,6 +70,40 @@ def _is_lock_call(node: ast.AST, method: str) -> ast.expr | None:
     if isinstance(base, ast.Attribute) and base.attr == "lock":
         return base
     return None
+
+
+#: Nested scopes a same-function walk must not descend into.
+_SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _scope_walk(body: list[ast.stmt]):
+    """Walk every node under ``body`` without entering nested function
+    scopes (their yields/returns belong to *their* check, not ours)."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_BARRIERS):
+            continue
+        for child in ast.iter_child_nodes(node):
+            stack.append(child)
+
+
+def _is_generator(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return any(
+        isinstance(node, (ast.Yield, ast.YieldFrom)) for node in _scope_walk(fn.body)
+    )
+
+
+def _method_calls(node: ast.AST, method: str) -> list[ast.Call]:
+    """``<something>.<method>(...)`` calls anywhere inside ``node``."""
+    return [
+        inner
+        for inner in ast.walk(node)
+        if isinstance(inner, ast.Call)
+        and isinstance(inner.func, ast.Attribute)
+        and inner.func.attr == method
+    ]
 
 
 def _lock_acquires(stmt: ast.stmt) -> list[ast.expr]:
@@ -176,6 +225,79 @@ class ProtocolLinter:
                     return True
         return False
 
+    # -- rule 3 --------------------------------------------------------
+
+    def check_no_return_in_finally(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_generator(node):
+                continue
+            seen: set[int] = set()
+            for inner in _scope_walk(node.body):
+                if not (isinstance(inner, ast.Try) and inner.finalbody):
+                    continue
+                for ret in _scope_walk(inner.finalbody):
+                    if isinstance(ret, ast.Return) and ret.lineno not in seen:
+                        seen.add(ret.lineno)
+                        self._report(
+                            ret.lineno,
+                            f"return inside the finally of effect generator "
+                            f"{node.name}: it replaces whatever was in flight "
+                            "(a propagating violation, a cancellation) with a "
+                            "normal return — the finally may only clean up",
+                        )
+
+    # -- rule 4 --------------------------------------------------------
+
+    def check_page_write_sections(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_page_write_body(node.body)
+
+    def _check_page_write_body(self, body: list[ast.stmt]) -> None:
+        for index, stmt in enumerate(body):
+            # Recurse into nested suites (loops, with, try, if) — but not
+            # nested defs, which ast.walk hands to us separately.
+            if not isinstance(stmt, _SCOPE_BARRIERS):
+                for field_body in (
+                    getattr(stmt, "body", None),
+                    getattr(stmt, "orelse", None),
+                    getattr(stmt, "finalbody", None),
+                ):
+                    if isinstance(field_body, list) and field_body and isinstance(
+                        field_body[0], ast.stmt
+                    ):
+                        self._check_page_write_body(field_body)
+                for handler in getattr(stmt, "handlers", []) or []:
+                    self._check_page_write_body(handler.body)
+
+            if not _method_calls(stmt, "acquire_page_write"):
+                continue
+            if isinstance(stmt, ast.Try):
+                continue  # the acquire is inside the try: recursion covered it
+            if self._suppressed(stmt.lineno):
+                continue
+            if not self._followed_by_page_release(body, index):
+                self._report(
+                    stmt.lineno,
+                    "acquire_page_write(...) is not followed by a try/finally "
+                    "calling release_page_write — an exception would leave "
+                    "the page pinned with its entry lock held cluster-wide "
+                    f"(annotate with '{SUPPRESS_COMMENT}' if the section is "
+                    "intentionally handed to the caller)",
+                )
+
+    @staticmethod
+    def _followed_by_page_release(body: list[ast.stmt], index: int) -> bool:
+        for later in body[index + 1 :]:
+            if not (isinstance(later, ast.Try) and later.finalbody):
+                continue
+            for final_stmt in later.finalbody:
+                if _method_calls(final_stmt, "release_page_write"):
+                    return True
+        return False
+
 
 def lint_file(path: Path) -> list[str]:
     source = path.read_text(encoding="utf-8")
@@ -183,6 +305,8 @@ def lint_file(path: Path) -> list[str]:
     linter = ProtocolLinter(path, tree, source.splitlines())
     linter.check_lock_free_servers()
     linter.check_balanced_locks()
+    linter.check_no_return_in_finally()
+    linter.check_page_write_sections()
     return linter.findings
 
 
