@@ -27,6 +27,7 @@ from repro.metrics.collect import Counters
 from repro.net.remoteop import RemoteOp
 from repro.net.ring import TokenRing
 from repro.net.transport import Transport
+from repro.obs import NULL_OBS, Observability
 from repro.sim.kernel import Simulator
 from repro.sim.process import SimDriver, Task
 from repro.sim.rng import RngStreams
@@ -52,15 +53,20 @@ class NodeContext:
             replacement=config.memory.replacement,
             rng=cluster.rngs.stream(f"pager-{node_id}"),
         )
-        self.disk = Disk(config.disk, config.svm.page_size, self.counters)
-        self.pager = Pager(self.memory, self.disk, self.counters)
+        self.disk = Disk(
+            config.disk, config.svm.page_size, self.counters,
+            node_id=node_id, obs=cluster.obs,
+        )
+        self.pager = Pager(self.memory, self.disk, self.counters, obs=cluster.obs)
         self.table = PageTable(
             node_id, cluster.layout.npages, config.svm.manager_node
         )
         self.transport = Transport(
             cluster.sim, cluster.driver, cluster.ring, node_id, config, cluster.trace
         )
-        self.remote = RemoteOp(self.transport, cluster.driver, config, cluster.trace)
+        self.remote = RemoteOp(
+            self.transport, cluster.driver, config, cluster.trace, obs=cluster.obs
+        )
         self.protocol: CoherenceProtocol = make_protocol(
             config.svm.algorithm,
             sim=cluster.sim,
@@ -74,6 +80,7 @@ class NodeContext:
             config=config,
             counters=self.counters,
             trace=cluster.trace,
+            obs=cluster.obs,
         )
         self.mem = SharedAddressSpace(
             self.protocol, cluster.layout, config.cpu, self.counters
@@ -88,20 +95,34 @@ class NodeContext:
 class Cluster:
     """A simulated loosely-coupled multiprocessor running the SVM."""
 
-    def __init__(self, config: ClusterConfig, trace: TraceRecorder = NULL_TRACE) -> None:
+    def __init__(
+        self,
+        config: ClusterConfig,
+        trace: TraceRecorder = NULL_TRACE,
+        obs: Observability | None = None,
+    ) -> None:
         if config.nodes < 1:
             raise ValueError("cluster needs at least one node")
         self.config = config
         self.sim = Simulator()
         self.trace = trace
-        trace.bind_clock(lambda: self.sim.now)
+        #: Observability bundle (repro.obs): an explicit instance wins,
+        #: else ``config.obs`` decides between a live one and NULL_OBS.
+        self.obs = obs if obs is not None else (
+            Observability() if config.obs else NULL_OBS
+        )
+        clock = self.sim.clock()
+        trace.bind_clock(clock)
+        if self.obs:  # never rebind the shared NULL_OBS
+            self.obs.bind_clock(clock)
         self.rngs = RngStreams(config.seed)
         self.driver = SimDriver(self.sim)
         self.layout = AddressLayout(
             config.svm.shared_base, config.svm.shared_size, config.svm.page_size
         )
         self.ring = TokenRing(
-            self.sim, config.ring, config.nodes, self.rngs.stream("ring"), trace
+            self.sim, config.ring, config.nodes, self.rngs.stream("ring"), trace,
+            obs=self.obs,
         )
         self.nodes = [NodeContext(self, n) for n in range(config.nodes)]
         #: Online coherence oracle (set when ``config.checker`` is on).

@@ -29,6 +29,7 @@ from repro.alloc.twolevel import TwoLevelAllocator
 from repro.api.cluster import Cluster, NodeContext
 from repro.config import ClusterConfig
 from repro.net.packet import request_size
+from repro.obs import Observability
 from repro.proc.loadbalance import LoadBalancer
 from repro.proc.migration import MigrationService
 from repro.proc.pcb import PCB, Pid
@@ -48,9 +49,17 @@ OP_SPAWN = "proc.spawn"
 class Ivy:
     """A booted IVY system on a simulated cluster."""
 
-    def __init__(self, config: ClusterConfig, trace: TraceRecorder = NULL_TRACE) -> None:
+    def __init__(
+        self,
+        config: ClusterConfig,
+        trace: TraceRecorder = NULL_TRACE,
+        obs: Observability | None = None,
+    ) -> None:
         self.config = config
-        self.cluster = Cluster(config, trace)
+        self.cluster = Cluster(config, trace, obs=obs)
+        #: Observability bundle (live when ``obs`` was passed or
+        #: ``config.obs`` is set; the shared NULL_OBS otherwise).
+        self.obs = self.cluster.obs
         #: Vector-clock race detector (repro.analysis), enabled together
         #: with the coherence oracle by ``ClusterConfig.checker``.
         self.races = None
@@ -67,7 +76,10 @@ class Ivy:
         self._centrals: list[CentralAllocator] = []
         self.allocators: list[Any] = []
         for node in self.cluster.nodes:
-            sched = NodeScheduler(self.cluster.sim, node.node_id, config, node.counters)
+            sched = NodeScheduler(
+                self.cluster.sim, node.node_id, config, node.counters,
+                obs=self.cluster.obs,
+            )
             node.sched = sched
             node.transport.load_provider = sched.load_byte
             node.transport.hint_sink = sched.note_hint

@@ -229,6 +229,14 @@ class ClusterConfig:
     #: :class:`CheckerConfig` instead of ``True`` to tune the checkers
     #: (e.g. allowlist known-benign application races).
     checker: bool | CheckerConfig = False
+    #: Enable the observability layer (repro.obs): causal span tracing
+    #: through faults/RPCs/invalidations, latency histograms, and the
+    #: simulated-time profiler.  Like the checker it is pure observation
+    #: — no effects, no RNG — so enabling it never changes simulated
+    #: times, event counts, or golden schedules.  Pass an
+    #: :class:`repro.obs.Observability` to ``Cluster``/``Ivy`` directly
+    #: to keep the handle for querying after the run.
+    obs: bool = False
     cpu: CpuConfig = field(default_factory=CpuConfig)
     ring: RingConfig = field(default_factory=RingConfig)
     disk: DiskConfig = field(default_factory=DiskConfig)

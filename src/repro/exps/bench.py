@@ -1,0 +1,121 @@
+"""Machine-readable benchmark artifacts (``BENCH_obs.json``).
+
+A tiny harness that runs scaled-down Figure 5 and Figure 4 (capacity)
+configurations and writes one JSON document with simulated runtimes,
+key protocol counters, and the observability profiler's cluster-time
+attribution per run — so regressions in either *performance* (simulated
+time drifting) or *behaviour* (fault/disk counts drifting) are visible
+to tooling without parsing ASCII tables.  CI's ``obs-smoke`` job uploads
+the file as a workflow artifact.
+
+::
+
+    python -m repro.exps.bench --out BENCH_obs.json
+
+The workloads are deliberately small (a few seconds of wall clock): the
+artifact is a tripwire, not a calibration.  Determinism makes the
+numbers exact — two checkouts producing different values differ in
+behaviour, not in measurement noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.apps.dotprod import DotProductApp
+from repro.apps.jacobi import JacobiApp
+from repro.apps.pde3d import Pde3dApp
+from repro.config import ClusterConfig
+from repro.exps.presets import PAGE_BYTES
+from repro.metrics.speedup import run_app
+from repro.obs import CATEGORIES, Observability
+
+__all__ = ["run_bench", "main"]
+
+#: Counters worth tracking run-over-run (behavioural tripwires).
+KEY_COUNTERS = (
+    "read_faults",
+    "write_faults",
+    "read_fault_ns",
+    "write_fault_ns",
+    "invalidations_sent",
+    "faults_forwarded",
+    "page_copies_sent",
+    "page_transfers_sent",
+    "disk_reads",
+    "disk_writes",
+    "evictions",
+)
+
+
+def _capacity_config(m: int) -> ClusterConfig:
+    # The Figure 4 regime at bench scale (see presets.pde_capacity).
+    vector_pages = (m**3 * 8 + PAGE_BYTES - 1) // PAGE_BYTES
+    return ClusterConfig().with_memory(
+        frames=int(1.8 * vector_pages), replacement="random"
+    )
+
+
+def _bench_cases() -> list[tuple[str, Any, int, ClusterConfig | None]]:
+    """(name, factory, nprocs, config) — small but representative."""
+    return [
+        ("dotprod_p1", lambda p: DotProductApp(p, n=32768), 1, None),
+        ("dotprod_p2", lambda p: DotProductApp(p, n=32768), 2, None),
+        ("jacobi_p1", lambda p: JacobiApp(p, n=128, iters=6), 1, None),
+        ("jacobi_p2", lambda p: JacobiApp(p, n=128, iters=6), 2, None),
+        ("pde_capacity_p1", lambda p: Pde3dApp(p, m=14, iters=4), 1, _capacity_config(14)),
+        ("pde_capacity_p2", lambda p: Pde3dApp(p, m=14, iters=4), 2, _capacity_config(14)),
+    ]
+
+
+def run_bench() -> dict[str, Any]:
+    runs: dict[str, Any] = {}
+    for name, factory, nprocs, config in _bench_cases():
+        obs = Observability()
+        res = run_app(factory, nprocs, config=config, obs=obs)
+        cluster = Observability.cluster_breakdown(obs.breakdown(nprocs, res.time_ns))
+        runs[name] = {
+            "nprocs": nprocs,
+            "time_ns": res.time_ns,
+            "counters": {k: res.counters[k] for k in KEY_COUNTERS},
+            "profile_ns": {cat: cluster[cat] for cat in CATEGORIES},
+            "spans": len(obs.spans),
+        }
+    # Simulated times are deterministic; derived ratios are free to add.
+    doc = {
+        "schema": "repro.bench/1",
+        "runs": runs,
+        "speedups": {
+            "dotprod": runs["dotprod_p1"]["time_ns"] / runs["dotprod_p2"]["time_ns"],
+            "jacobi": runs["jacobi_p1"]["time_ns"] / runs["jacobi_p2"]["time_ns"],
+            "pde_capacity": (
+                runs["pde_capacity_p1"]["time_ns"] / runs["pde_capacity_p2"]["time_ns"]
+            ),
+        },
+    }
+    return doc
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exps.bench", description=__doc__
+    )
+    parser.add_argument("--out", default="BENCH_obs.json")
+    args = parser.parse_args(argv)
+    doc = run_bench()
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, run in doc["runs"].items():
+        print(f"{name}: {run['time_ns'] / 1e6:.1f} ms simulated")
+    for app, speedup in doc["speedups"].items():
+        print(f"speedup {app} p1->p2: {speedup:.2f}x")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

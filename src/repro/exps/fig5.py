@@ -12,10 +12,10 @@ from __future__ import annotations
 import argparse
 
 from repro.exps.presets import fig5_factories, fig5_procs
-from repro.metrics.report import format_speedup_table
-from repro.metrics.speedup import SpeedupResult, measure_speedups
+from repro.metrics.report import ascii_table, format_speedup_table
+from repro.metrics.speedup import SpeedupResult, measure_speedups, run_app
 
-__all__ = ["run", "main"]
+__all__ = ["run", "profile", "main"]
 
 
 def run(quick: bool = True, procs: tuple[int, ...] | None = None) -> list[SpeedupResult]:
@@ -29,15 +29,51 @@ def run(quick: bool = True, procs: tuple[int, ...] | None = None) -> list[Speedu
     return results
 
 
+def profile(quick: bool = True, nprocs: int = 2) -> list[list[str]]:
+    """Where each benchmark's simulated time goes at ``nprocs`` (one row
+    per app: % of cluster CPU-time per profiler category).  This is the
+    observability layer's explanation of the Figure 5 shapes: dot-product
+    scales poorly because its nodes sit in fault stalls, Jacobi scales
+    because its time is overwhelmingly compute."""
+    from repro.obs import CATEGORIES, Observability
+
+    rows = []
+    for name, factory in fig5_factories(full=not quick).items():
+        obs = Observability()
+        res = run_app(factory, nprocs, obs=obs)
+        per_node = obs.breakdown(nprocs, res.time_ns)
+        cluster = Observability.cluster_breakdown(per_node)
+        denom = res.time_ns * nprocs
+        rows.append(
+            [name] + [f"{100.0 * cluster[c] / denom:.1f}%" for c in CATEGORIES]
+        )
+    return rows
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true", help="paper-scale workloads")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="also attribute each app's simulated time (repro.obs profiler)",
+    )
     args = parser.parse_args()
     results = run(quick=not args.full)
     print("Figure 5 — speedups of the benchmark suite")
     print("(every run's numerical output is checked against the sequential golden)")
     print()
     print(format_speedup_table(results))
+    if args.profile:
+        from repro.obs import CATEGORIES
+
+        print()
+        print(
+            ascii_table(
+                ["program"] + list(CATEGORIES),
+                profile(quick=not args.full),
+                title="simulated-time attribution at p=2 (cluster-wide %)",
+            )
+        )
 
 
 if __name__ == "__main__":

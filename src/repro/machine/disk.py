@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.config import DiskConfig
 from repro.metrics.collect import Counters
+from repro.obs import NULL_OBS, Observability
 from repro.sim.process import Compute, Effect, Sleep
 from repro.sim.sync import SimLock
 
@@ -24,10 +25,19 @@ __all__ = ["Disk"]
 class Disk:
     """A simple seek+stream disk holding evicted page images."""
 
-    def __init__(self, config: DiskConfig, page_size: int, counters: Counters) -> None:
+    def __init__(
+        self,
+        config: DiskConfig,
+        page_size: int,
+        counters: Counters,
+        node_id: int = -1,
+        obs: Observability = NULL_OBS,
+    ) -> None:
         self.config = config
         self.page_size = page_size
         self.counters = counters
+        self.node_id = node_id
+        self.obs = obs
         self._store: dict[int, np.ndarray] = {}
         self._arm = SimLock()  # one transfer at a time
 
@@ -44,16 +54,21 @@ class Disk:
         if len(data) != self.page_size:
             raise ValueError(f"bad page image size {len(data)}")
         yield from self._arm.acquire()
+        # Span opens after the arm is won: disk time is the transfer
+        # stall, not the queueing behind other transfers.
+        span = self.obs.span_begin("disk.write", node=self.node_id, page=page)
         try:
             yield self._busy(self.config.transfer_ns(self.page_size))
             self._store[page] = np.array(data, dtype=np.uint8, copy=True)
             self.counters.inc("disk_writes")
         finally:
+            self.obs.span_end(span)
             self._arm.release()
 
     def read_page(self, page: int) -> Generator[Effect, Any, np.ndarray]:
         """Read a page image back (page-in); the image stays on disk."""
         yield from self._arm.acquire()
+        span = self.obs.span_begin("disk.read", node=self.node_id, page=page)
         try:
             if page not in self._store:
                 raise KeyError(f"page {page} not on disk")
@@ -61,6 +76,7 @@ class Disk:
             self.counters.inc("disk_reads")
             return self._store[page]
         finally:
+            self.obs.span_end(span)
             self._arm.release()
 
     def discard(self, page: int) -> None:

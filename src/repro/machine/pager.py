@@ -25,6 +25,7 @@ import numpy as np
 from repro.machine.disk import Disk
 from repro.machine.memory import FramePressure, PhysicalMemory
 from repro.metrics.collect import Counters
+from repro.obs import NULL_OBS, Observability
 from repro.sim.process import Effect, Sleep
 
 __all__ = ["Pager"]
@@ -41,10 +42,17 @@ EvictionPolicy = Callable[[int], Generator[Effect, Any, bool]]
 class Pager:
     """Frame acquisition with LRU eviction to the local disk."""
 
-    def __init__(self, memory: PhysicalMemory, disk: Disk, counters: Counters) -> None:
+    def __init__(
+        self,
+        memory: PhysicalMemory,
+        disk: Disk,
+        counters: Counters,
+        obs: Observability = NULL_OBS,
+    ) -> None:
         self.memory = memory
         self.disk = disk
         self.counters = counters
+        self.obs = obs
         self._evict: EvictionPolicy | None = None
 
     def set_eviction_policy(self, policy: EvictionPolicy) -> None:
@@ -84,6 +92,10 @@ class Pager:
                 vetoed.add(victim)
                 continue
             self.counters.inc("evictions")
+            if self.obs:
+                # Frame-pool occupancy sampled at eviction time: under
+                # capacity pressure this histogram hugs the frame budget.
+                self.obs.observe("frames.occupancy", len(self.memory))
             if victim in self.memory:
                 raise RuntimeError(
                     f"eviction policy failed to release frame of page {victim}"
@@ -95,7 +107,10 @@ class Pager:
     ) -> Generator[Effect, Any, np.ndarray]:
         """Evict as needed, then place ``page`` (optionally with bytes)."""
         yield from self.ensure_frame(page)
-        return self.memory.install(page, data)
+        frame = self.memory.install(page, data)
+        if self.obs:
+            self.obs.gauge("frames.resident", len(self.memory))
+        return frame
 
     def page_out(self, page: int) -> Generator[Effect, Any, None]:
         """Write ``page``'s frame to disk and drop the frame."""

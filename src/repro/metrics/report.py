@@ -7,11 +7,20 @@ asserted on in tests).
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
+from repro.metrics.hist import Histogram, Metrics
 from repro.metrics.speedup import SpeedupResult
 
-__all__ = ["ascii_table", "format_speedup_table", "format_series"]
+__all__ = [
+    "ascii_table",
+    "format_speedup_table",
+    "format_series",
+    "format_instruments",
+    "format_profile",
+    "format_span_stats",
+    "fault_latency_stats",
+]
 
 
 def ascii_table(
@@ -50,3 +59,114 @@ def format_series(
     title: str, labels: Sequence[Any], values: Sequence[Any], label_hdr: str, value_hdr: str
 ) -> str:
     return ascii_table([label_hdr, value_hdr], list(zip(labels, values)), title=title)
+
+
+# ---------------------------------------------------------------------------
+# observability reports (repro.obs)
+
+
+def _fmt(value: float | int | None) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.1f}"
+    return str(int(value))
+
+
+def format_instruments(metrics: Metrics, title: str = "instruments") -> str:
+    """Histograms with count / p50 / p95 / p99 / max, then gauges.
+
+    Values are whatever unit the instrument observes (latencies in
+    simulated ns, fan-outs in targets, occupancy in frames).
+    """
+    rows: list[list[str]] = []
+    for name, hist in sorted(metrics.histograms.items()):
+        rows.append(
+            [
+                name, str(hist.count),
+                _fmt(hist.percentile(50)), _fmt(hist.percentile(95)),
+                _fmt(hist.percentile(99)), _fmt(hist.max),
+            ]
+        )
+    for name, gauge in sorted(metrics.gauges.items()):
+        rows.append(
+            [f"{name} (gauge)", str(gauge.updates), _fmt(gauge.value), "-", "-", _fmt(gauge.peak)]
+        )
+    if not rows:
+        rows.append(["(no observations)", "0", "-", "-", "-", "-"])
+    return ascii_table(
+        ["instrument", "count", "p50", "p95", "p99", "max"], rows, title=title
+    )
+
+
+def format_profile(
+    per_node: dict[int, dict[str, int]],
+    total_ns: int,
+    title: str = "simulated-time profile",
+) -> str:
+    """Per-node + cluster attribution table (each row sums to 100%)."""
+    from repro.obs.profiler import CATEGORIES, SimProfiler
+
+    def row(label: str, counts: dict[str, int], denom: int) -> list[str]:
+        cells = [label]
+        for cat in CATEGORIES:
+            ns = counts.get(cat, 0)
+            pct = (100.0 * ns / denom) if denom else 0.0
+            cells.append(f"{pct:5.1f}% {ns / 1e6:10.1f}")
+        return cells
+
+    headers = ["node"] + [f"{cat} (%, ms)" for cat in CATEGORIES]
+    rows = [
+        row(str(node), counts, total_ns)
+        for node, counts in sorted(per_node.items())
+    ]
+    cluster = SimProfiler.cluster(per_node)
+    rows.append(row("cluster", cluster, total_ns * max(1, len(per_node))))
+    return ascii_table(headers, rows, title=title)
+
+
+def format_span_stats(
+    stats: dict[str, dict[str, float | int | None]],
+    limit: int = 20,
+    title: str = "top spans by total simulated time",
+) -> str:
+    ordered = sorted(
+        stats.items(), key=lambda kv: kv[1].get("total_ns") or 0, reverse=True
+    )
+    rows = [
+        [
+            name, _fmt(agg.get("count")),
+            f"{(agg.get('total_ns') or 0) / 1e6:.1f}",
+            _fmt(agg.get("mean_ns")), _fmt(agg.get("p95_ns")), _fmt(agg.get("max_ns")),
+        ]
+        for name, agg in ordered[:limit]
+    ]
+    if not rows:
+        rows.append(["(no spans)", "0", "-", "-", "-", "-"])
+    return ascii_table(
+        ["span", "count", "total ms", "mean ns", "p95 ns", "max ns"], rows, title=title
+    )
+
+
+def fault_latency_stats(events: Iterable[Any]) -> dict[str, Histogram]:
+    """Fault-service latency histograms from a recorded protocol trace.
+
+    Consumes ``svm.read_fault`` / ``svm.write_fault`` /
+    ``svm.write_upgrade`` events carrying an ``ns`` field.  Events
+    emitted before the recorder's clock was bound (``UNSTAMPED``) are
+    excluded — a pre-boot event's latency is not a measurement (see
+    ``TraceRecorder.save``, which warns about them).
+    """
+    out = {
+        "svm.read_fault": Histogram("svm.read_fault"),
+        "svm.write_fault": Histogram("svm.write_fault"),
+        "svm.write_upgrade": Histogram("svm.write_upgrade"),
+    }
+    for ev in events:
+        hist = out.get(ev.category)
+        if hist is None or not ev.stamped:
+            continue
+        ns = ev.fields.get("ns")
+        if isinstance(ns, int):
+            hist.observe(ns)
+    return out

@@ -70,12 +70,17 @@ def run_app(
     nprocs: int,
     config: ClusterConfig | None = None,
     check: bool = True,
+    obs: Any = None,
 ) -> RunResult:
-    """Run one app instance on a fresh ``nprocs``-node cluster."""
+    """Run one app instance on a fresh ``nprocs``-node cluster.
+
+    Pass an :class:`repro.obs.Observability` as ``obs`` to trace the run
+    and keep the handle (spans, instruments, profiler) afterwards.
+    """
     base = config or ClusterConfig()
     cluster_config = base.replace(nodes=nprocs)
     app = app_factory(nprocs)
-    ivy = Ivy(cluster_config)
+    ivy = Ivy(cluster_config, obs=obs)
     result = ivy.run(app.main)
     if check:
         app.check(result)

@@ -53,6 +53,10 @@ class Message:
     #: stations process the message (others hear it and discard it,
     #: as ring hardware multicast filtering does).
     targets: tuple[int, ...] | None = None
+    #: Causal span id riding the wire (0 = untraced).  Replies and
+    #: forwards inherit it, so a fault's span tree follows the request
+    #: across nodes.  Pure observability: never read by protocol code.
+    span: int = 0
     serial: int = field(default_factory=lambda: next(_serial))
 
     def __post_init__(self) -> None:

@@ -24,6 +24,7 @@ from typing import Any, Callable, Generator
 from repro.config import ClusterConfig
 from repro.net.packet import HEADER_BYTES, Message
 from repro.net.transport import Transport
+from repro.obs import NULL_OBS, Observability, Span
 from repro.sim.process import Compute, Effect, SimDriver
 from repro.sim.trace import NULL_TRACE, TraceRecorder
 
@@ -73,11 +74,13 @@ class RemoteOp:
         driver: SimDriver,
         config: ClusterConfig,
         trace: TraceRecorder = NULL_TRACE,
+        obs: Observability = NULL_OBS,
     ) -> None:
         self.transport = transport
         self.driver = driver
         self.config = config
         self.trace = trace
+        self.obs = obs
         self.node_id = transport.node_id
         self._handlers: dict[str, Callable[[int, Any], Generator]] = {}
         self._local_probes: dict[str, Callable[[Any], bool]] = {}
@@ -104,13 +107,24 @@ class RemoteOp:
         return bool(probe(msg.payload)) if probe is not None else False
 
     def request(
-        self, dst: int, op: str, payload: Any = None, nbytes: int = HEADER_BYTES
+        self,
+        dst: int,
+        op: str,
+        payload: Any = None,
+        nbytes: int = HEADER_BYTES,
+        span: Span | int | None = None,
     ) -> Generator[Effect, Any, Any]:
         """Perform a remote operation and return its reply value."""
         if self.trace:
             self.trace.emit("remoteop.request", src=self.node_id, dst=dst, op=op)
-        value = yield from self.transport.request(dst, op, payload, nbytes)
-        return value
+        hop = self.obs.span_begin(f"rpc:{op}", parent=span, node=self.node_id, dst=dst)
+        try:
+            value = yield from self.transport.request(
+                dst, op, payload, nbytes, span_id=hop.sid
+            )
+            return value
+        finally:
+            self.obs.span_end(hop)
 
     def broadcast(
         self,
@@ -118,14 +132,23 @@ class RemoteOp:
         payload: Any = None,
         nbytes: int = HEADER_BYTES,
         scheme: str = "all",
+        span: Span | int | None = None,
     ) -> Generator[Effect, Any, Any]:
         """Broadcast ``op``; reply handling per the paper's three schemes."""
         if self.trace:
             self.trace.emit(
                 "remoteop.broadcast", src=self.node_id, op=op, scheme=scheme
             )
-        value = yield from self.transport.broadcast(op, payload, nbytes, scheme)
-        return value
+        hop = self.obs.span_begin(
+            f"rpc:{op}", parent=span, node=self.node_id, scheme=scheme
+        )
+        try:
+            value = yield from self.transport.broadcast(
+                op, payload, nbytes, scheme, span_id=hop.sid
+            )
+            return value
+        finally:
+            self.obs.span_end(hop)
 
     def multicast(
         self,
@@ -133,14 +156,23 @@ class RemoteOp:
         op: str,
         payload: Any = None,
         nbytes: int = HEADER_BYTES,
+        span: Span | int | None = None,
     ) -> Generator[Effect, Any, dict[int, Any]]:
         """Multicast ``op`` to ``targets``; one reply per target."""
         if self.trace:
             self.trace.emit(
                 "remoteop.multicast", src=self.node_id, op=op, targets=tuple(targets)
             )
-        value = yield from self.transport.multicast(targets, op, payload, nbytes)
-        return value
+        hop = self.obs.span_begin(
+            f"rpc:{op}", parent=span, node=self.node_id, fanout=len(targets)
+        )
+        try:
+            value = yield from self.transport.multicast(
+                targets, op, payload, nbytes, span_id=hop.sid
+            )
+            return value
+        finally:
+            self.obs.span_end(hop)
 
     # ------------------------------------------------------------------
 
@@ -153,27 +185,35 @@ class RemoteOp:
         handler = self._handlers.get(msg.op)
         if handler is None:
             raise RuntimeError(f"node {self.node_id}: no handler for {msg.op!r}")
-        yield Compute(self.config.server_dispatch_cost)
-        result = yield from handler(msg.origin, msg.payload)
-        if isinstance(result, Forward):
-            if self.trace:
-                self.trace.emit(
-                    "remoteop.forward", node=self.node_id, dst=result.dst, op=msg.op,
-                    origin=msg.origin,
+        span = self.obs.span_begin(
+            f"serve:{msg.op}", parent=msg.span, node=self.node_id, origin=msg.origin
+        )
+        try:
+            yield Compute(self.config.server_dispatch_cost)
+            result = yield from handler(msg.origin, msg.payload)
+            if isinstance(result, Forward):
+                if self.trace:
+                    self.trace.emit(
+                        "remoteop.forward", node=self.node_id, dst=result.dst, op=msg.op,
+                        origin=msg.origin,
+                    )
+                yield from self.transport.forward(
+                    result.dst, msg, result.payload, result.nbytes, span_id=span.sid
                 )
-            yield from self.transport.forward(result.dst, msg, result.payload, result.nbytes)
-        elif result is NO_REPLY:
-            if msg.kind != "bcast":
-                raise RuntimeError(
-                    f"handler for {msg.op!r} returned NO_REPLY to a unicast request"
-                )
-            # Silence has no side effects: let duplicates re-execute, so a
-            # retransmitted location broadcast can find an owner that was
-            # mid-handoff the first time.
-            self.transport.clear_request(msg)
-        elif msg.kind == "bcast" and msg.reply_scheme == "none":
-            self.transport.mark_no_reply(msg)
-        elif isinstance(result, Reply):
-            yield from self.transport.send_reply(msg, result.value, result.nbytes)
-        else:
-            yield from self.transport.send_reply(msg, result)
+            elif result is NO_REPLY:
+                if msg.kind != "bcast":
+                    raise RuntimeError(
+                        f"handler for {msg.op!r} returned NO_REPLY to a unicast request"
+                    )
+                # Silence has no side effects: let duplicates re-execute, so a
+                # retransmitted location broadcast can find an owner that was
+                # mid-handoff the first time.
+                self.transport.clear_request(msg)
+            elif msg.kind == "bcast" and msg.reply_scheme == "none":
+                self.transport.mark_no_reply(msg)
+            elif isinstance(result, Reply):
+                yield from self.transport.send_reply(msg, result.value, result.nbytes)
+            else:
+                yield from self.transport.send_reply(msg, result)
+        finally:
+            self.obs.span_end(span)

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.config import RingConfig
 from repro.net.packet import BROADCAST, Message, delivery_label
+from repro.obs import NULL_OBS, Observability
 from repro.sim.kernel import Simulator
 from repro.sim.trace import NULL_TRACE, TraceRecorder
 
@@ -54,6 +55,7 @@ class TokenRing:
         nnodes: int,
         rng: np.random.Generator | None = None,
         trace: TraceRecorder = NULL_TRACE,
+        obs: Observability = NULL_OBS,
     ) -> None:
         if nnodes < 1:
             raise ValueError("ring needs at least one station")
@@ -62,6 +64,7 @@ class TokenRing:
         self.nnodes = nnodes
         self.rng = rng
         self.trace = trace
+        self.obs = obs
         self.stats = RingStats()
         self._receivers: dict[int, Callable[[Message], None]] = {}
         self._free_at = 0  # medium is idle from this time onward
@@ -103,6 +106,10 @@ class TokenRing:
             raise ValueError("a station does not ring-transmit to itself")
         now = self.sim.now
         start = max(now, self._free_at)
+        if self.obs:
+            # Queueing delay behind the shared medium — the contention
+            # that caps dot-product's speedup (histogrammed in ns).
+            self.obs.observe("ring.queue_ns", start - now)
         occupancy = self.occupancy_ns(msg.nbytes)
         self._free_at = start + occupancy
         arrival = self._free_at + self.config.delivery_latency

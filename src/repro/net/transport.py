@@ -138,7 +138,12 @@ class Transport:
     # client side
 
     def request(
-        self, dst: int, op: str, payload: Any, nbytes: int = HEADER_BYTES
+        self,
+        dst: int,
+        op: str,
+        payload: Any,
+        nbytes: int = HEADER_BYTES,
+        span_id: int = 0,
     ) -> Generator[Effect, Any, Any]:
         """Send a request and wait for the (possibly forwarded) reply.
 
@@ -149,7 +154,7 @@ class Transport:
         msg = Message(
             src=self.node_id, dst=dst, kind="req", op=op,
             origin=self.node_id, msg_id=self._next_id,
-            payload=payload, nbytes=nbytes,
+            payload=payload, nbytes=nbytes, span=span_id,
         )
         pending = _Pending(msg, want=1)
         self._pending[msg.msg_id] = pending
@@ -168,6 +173,7 @@ class Transport:
         payload: Any,
         nbytes: int = HEADER_BYTES,
         scheme: str = "all",
+        span_id: int = 0,
     ) -> Generator[Effect, Any, Any]:
         """Broadcast a request to every other station.
 
@@ -184,6 +190,7 @@ class Transport:
             src=self.node_id, dst=BROADCAST, kind="bcast", op=op,
             origin=self.node_id, msg_id=self._next_id,
             payload=payload, nbytes=nbytes, reply_scheme=scheme,
+            span=span_id,
         )
         self.stats.broadcasts_sent += 1
         yield Compute(self.config.transport_cpu)
@@ -208,6 +215,7 @@ class Transport:
         op: str,
         payload: Any,
         nbytes: int = HEADER_BYTES,
+        span_id: int = 0,
     ) -> Generator[Effect, Any, dict[int, Any]]:
         """One ring transmission processed only by ``targets``; collect a
         reply from each (the paper's invalidation pattern).
@@ -224,7 +232,7 @@ class Transport:
             src=self.node_id, dst=BROADCAST, kind="bcast", op=op,
             origin=self.node_id, msg_id=self._next_id,
             payload=payload, nbytes=nbytes, reply_scheme="all",
-            targets=targets,
+            targets=targets, span=span_id,
         )
         pending = _Pending(msg, want=len(targets))
         self._pending[msg.msg_id] = pending
@@ -251,12 +259,17 @@ class Transport:
             Message(
                 src=self.node_id, dst=msg.origin, kind="rep", op=msg.op,
                 origin=msg.origin, msg_id=msg.msg_id,
-                payload=value, nbytes=nbytes,
+                payload=value, nbytes=nbytes, span=msg.span,
             )
         )
 
     def forward(
-        self, dst: int, msg: Message, payload: Any = None, nbytes: int | None = None
+        self,
+        dst: int,
+        msg: Message,
+        payload: Any = None,
+        nbytes: int | None = None,
+        span_id: int | None = None,
     ) -> Generator[Effect, Any, None]:
         """Forward ``msg`` to ``dst`` keeping origin/msg_id; no local reply.
 
@@ -274,6 +287,7 @@ class Transport:
             origin=msg.origin, msg_id=msg.msg_id,
             payload=msg.payload if payload is None else payload,
             nbytes=msg.nbytes if nbytes is None else nbytes,
+            span=msg.span if span_id is None else span_id,
         )
         self._reply_cache[(msg.origin, msg.msg_id)] = ("forwarded", forwarded)
         yield Compute(self.config.transport_cpu)

@@ -1,0 +1,155 @@
+"""``repro.obs`` — causal span tracing, metric instruments, and the
+simulated-time profiler.
+
+One :class:`Observability` object per run bundles the three layers:
+
+- :class:`repro.obs.span.SpanTracer` — fault/rpc/serve/disk span trees
+  with per-hop simulated durations (span ids propagate on messages);
+- :class:`repro.metrics.hist.Metrics` — histograms and gauges (fault
+  latency, ring queueing delay, invalidation fan-out, frame occupancy);
+- :class:`repro.obs.profiler.SimProfiler` — per-node attribution of
+  simulated time to compute / fault-stall / network / disk / idle.
+
+Enable it per run (``ClusterConfig(obs=True)``, or pass an
+``Observability`` to :class:`repro.api.ivy.Ivy` / ``run_app`` to keep the
+handle).  Like :data:`repro.sim.trace.NULL_TRACE`, the default
+:data:`NULL_OBS` is a disabled instance whose hooks are no-ops, so the
+hot paths pay one truthiness check and nothing else.  Every hook is pure
+observation — no simulation events, no effects, no RNG — so enabling
+observability never changes simulated times, event counts, or golden
+schedules.
+
+Exporters live in :mod:`repro.obs.export` (Chrome trace-event JSON,
+loadable in Perfetto) and the CLI in ``python -m repro.obs``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.metrics.hist import Metrics
+from repro.obs.profiler import CATEGORIES, PRECEDENCE, SimProfiler
+from repro.obs.span import NULL_SPAN, Span, SpanTracer
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "Span",
+    "SpanTracer",
+    "NULL_SPAN",
+    "SimProfiler",
+    "Metrics",
+    "CATEGORIES",
+    "PRECEDENCE",
+    "SPAN_CATEGORIES",
+]
+
+#: Span-name prefixes that feed the profiler, mapped to its categories.
+#: ``fault.*`` roots are the faulting process's stall; ``serve:*`` spans
+#: are interrupt-level handler work (network service); ``disk.*`` spans
+#: are transfers that stall the node.  ``rpc:*`` and ``inv`` spans are
+#: structure-only: their time is already covered by the fault root.
+SPAN_CATEGORIES = {"fault": "fault", "serve": "network", "disk": "disk"}
+
+
+def _span_category(name: str) -> str | None:
+    prefix = name.split(".", 1)[0].split(":", 1)[0]
+    return SPAN_CATEGORIES.get(prefix)
+
+
+class Observability:
+    """Spans + instruments + profiler behind one opt-in handle."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.spans = SpanTracer(enabled=enabled)
+        self.metrics = Metrics()
+        self.profiler = SimProfiler()
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        self.spans.bind_clock(clock)
+
+    # ------------------------------------------------------------------
+    # span facade (no-ops when disabled; see SpanTracer)
+
+    def span_begin(
+        self,
+        name: str,
+        parent: Span | int | None = 0,
+        node: int = -1,
+        start: int | None = None,
+        **attrs: Any,
+    ) -> Span:
+        if not self.enabled:
+            return NULL_SPAN
+        return self.spans.span_begin(name, parent=parent, node=node, start=start, **attrs)
+
+    def span_end(self, span: Span, end: int | None = None) -> None:
+        self.spans.span_end(span, end=end)
+
+    # ------------------------------------------------------------------
+    # instruments
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.observe(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.gauge(name, value)
+
+    # ------------------------------------------------------------------
+    # profiler
+
+    def interval(self, node: int, category: str, start: int, end: int) -> None:
+        if self.enabled:
+            self.profiler.interval(node, category, start, end)
+
+    def _profile(self, total_ns: int) -> SimProfiler:
+        """The recorded intervals plus the categorised spans, with open
+        spans clamped to the end of the run."""
+        merged = self.profiler.merged(SimProfiler())
+        for span in self.spans:
+            category = _span_category(span.name)
+            if category is None or span.start == span.end:
+                continue
+            end = total_ns if span.open else span.end
+            merged.interval(span.node, category, span.start, end)
+        return merged
+
+    def breakdown(self, nnodes: int, total_ns: int) -> dict[int, dict[str, int]]:
+        """Per-node partition of ``[0, total_ns]``; each node's values
+        sum to ``total_ns`` exactly (see :mod:`repro.obs.profiler`)."""
+        return self._profile(total_ns).per_node(nnodes, total_ns)
+
+    @staticmethod
+    def cluster_breakdown(per_node: dict[int, dict[str, int]]) -> dict[str, int]:
+        return SimProfiler.cluster(per_node)
+
+    # ------------------------------------------------------------------
+    # aggregate span statistics (the CLI's `top`)
+
+    def span_stats(self) -> dict[str, dict[str, float | int | None]]:
+        """Per-span-name aggregates: count, total/mean/p95 duration."""
+        groups = Metrics()
+        for span in self.spans:
+            duration = span.duration
+            if duration is not None:
+                groups.observe(span.name, duration)
+        out: dict[str, dict[str, float | int | None]] = {}
+        for name, hist in groups.histograms.items():
+            out[name] = {
+                "count": hist.count,
+                "total_ns": hist.total,
+                "mean_ns": hist.mean(),
+                "p95_ns": hist.percentile(95),
+                "max_ns": hist.max,
+            }
+        return out
+
+
+#: Shared disabled instance — the default everywhere, like NULL_TRACE.
+NULL_OBS = Observability(enabled=False)

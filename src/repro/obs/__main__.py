@@ -1,0 +1,193 @@
+"""Command-line entry points for the observability layer.
+
+::
+
+    # Run a benchmark with full observability and print the report:
+    # latency/fan-out/occupancy instruments, then the per-node
+    # simulated-time profile (compute / fault / network / disk / idle).
+    python -m repro.obs report --app dotprod --nodes 2
+
+    # The Figure 4 story: run the PDE under memory pressure and watch
+    # the disk share collapse from one node to two.
+    python -m repro.obs report --app pde --capacity --nodes 1
+    python -m repro.obs report --app pde --capacity --nodes 2
+
+    # Export a Perfetto-loadable Chrome trace (open at ui.perfetto.dev),
+    # optionally alongside the raw span stream (JSONL):
+    python -m repro.obs export --app dotprod --nodes 2 \
+        --out dotprod_trace.json --spans dotprod_spans.jsonl
+
+    # Aggregate spans: where does simulated time actually go?
+    python -m repro.obs top --app jacobi --nodes 4
+
+    # Validate an exported trace against the trace-event schema:
+    python -m repro.obs validate dotprod_trace.json
+
+Exit status is non-zero when a run fails its numerical check or a trace
+fails validation, so CI can gate on it (the ``obs-smoke`` job does).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.config import ClusterConfig
+from repro.obs import Observability
+from repro.obs.export import save_chrome_trace, validate_chrome_trace
+
+#: Pages of one PDE vector at the smoke sizes below (for --capacity).
+_PDE_M = 14
+
+
+def _build_app(name: str, nprocs: int) -> Any:
+    # Sizes are scaled down from the paper's: observability multiplies
+    # nothing, but the CLI is for interactive looks, not calibration.
+    if name == "dotprod":
+        from repro.apps.dotprod import DotProductApp
+
+        return DotProductApp(nprocs, n=8192)
+    if name == "jacobi":
+        from repro.apps.jacobi import JacobiApp
+
+        return JacobiApp(nprocs, n=64, iters=4)
+    if name == "tsp":
+        from repro.apps.tsp import TspApp
+
+        return TspApp(nprocs, ncities=8)
+    if name == "pde":
+        from repro.apps.pde3d import Pde3dApp
+
+        return Pde3dApp(nprocs, m=_PDE_M, iters=4)
+    raise SystemExit(f"unknown app {name!r} (expected dotprod, jacobi, tsp or pde)")
+
+
+def _run_observed(args: argparse.Namespace) -> tuple[Any, Observability]:
+    from repro.api.ivy import Ivy
+
+    config = ClusterConfig(nodes=args.nodes, obs=True).with_svm(
+        algorithm=args.algorithm
+    )
+    if getattr(args, "capacity", False):
+        # The Figure 4 / Table 1 regime: one node's frames hold ~1.8 of
+        # the working set per vector, with Aegis-style randomised
+        # replacement (see repro.exps.presets.pde_capacity).
+        page = config.svm.page_size
+        vector_pages = (_PDE_M**3 * 8 + page - 1) // page
+        config = config.with_memory(
+            frames=int(1.8 * vector_pages), replacement="random"
+        )
+    obs = Observability()
+    ivy = Ivy(config, obs=obs)
+    app = _build_app(args.app, args.nodes)
+    result = ivy.run(app.main)
+    app.check(result)
+    return ivy, obs
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.metrics.report import format_instruments, format_profile
+
+    ivy, obs = _run_observed(args)
+    total = ivy.time_ns
+    print(
+        f"{args.app} on {args.nodes} nodes ({args.algorithm}): "
+        f"T = {total / 1e6:.1f} ms simulated, {len(obs.spans)} spans"
+    )
+    print()
+    print(format_instruments(obs.metrics))
+    print()
+    print(format_profile(obs.breakdown(args.nodes, total), total))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    ivy, obs = _run_observed(args)
+    count = save_chrome_trace(args.out, obs, total_ns=ivy.time_ns)
+    print(f"saved {count} trace events to {args.out} (open at ui.perfetto.dev)")
+    if args.spans:
+        n = obs.spans.save(args.spans)
+        print(f"saved {n} spans to {args.spans}")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.metrics.report import format_span_stats
+
+    ivy, obs = _run_observed(args)
+    print(
+        f"{args.app} on {args.nodes} nodes ({args.algorithm}): "
+        f"T = {ivy.time_ns / 1e6:.1f} ms simulated"
+    )
+    print()
+    print(format_span_stats(obs.span_stats(), limit=args.limit))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        with open(args.trace, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        raise SystemExit(f"no such trace file: {args.trace}")
+    except json.JSONDecodeError as exc:
+        print(f"{args.trace}: not valid JSON: {exc}")
+        return 1
+    problems = validate_chrome_trace(doc)
+    for problem in problems:
+        print(f"{args.trace}: {problem}")
+    if problems:
+        print(f"{len(problems)} problem(s)")
+        return 1
+    events = doc.get("traceEvents", [])
+    print(f"{args.trace}: valid trace-event JSON ({len(events)} events)")
+    return 0
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--app", default="dotprod", help="dotprod | jacobi | tsp | pde")
+    parser.add_argument("--nodes", type=int, default=2)
+    parser.add_argument(
+        "--algorithm", default="dynamic",
+        help="centralized | fixed | dynamic | broadcast",
+    )
+    parser.add_argument(
+        "--capacity", action="store_true",
+        help="bound frames below the working set (the Figure 4 regime)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="span tracing, instruments and profiling for the SVM simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="run a benchmark and print the obs report")
+    _add_run_args(report)
+    report.set_defaults(func=_cmd_report)
+
+    export = sub.add_parser("export", help="run a benchmark and export a Chrome trace")
+    _add_run_args(export)
+    export.add_argument("--out", default="trace.json", help="Chrome trace JSON path")
+    export.add_argument("--spans", default="", help="also save raw spans (JSONL)")
+    export.set_defaults(func=_cmd_export)
+
+    top = sub.add_parser("top", help="aggregate spans by name, heaviest first")
+    _add_run_args(top)
+    top.add_argument("-n", "--limit", type=int, default=20)
+    top.set_defaults(func=_cmd_top)
+
+    validate = sub.add_parser("validate", help="check an exported Chrome trace")
+    validate.add_argument("trace", help="JSON file written by `export`")
+    validate.set_defaults(func=_cmd_validate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""Exporters: Chrome trace-event JSON (Perfetto-loadable) from spans.
+
+The trace-event format is the JSON object form::
+
+    {"displayTimeUnit": "ms", "traceEvents": [
+        {"name": "fault.read", "ph": "X", "ts": 12.5, "dur": 3170.0,
+         "pid": 1, "tid": 0, "cat": "fault", "args": {...}}, ...]}
+
+- ``pid`` is the simulated node (each node renders as one process);
+- ``tid`` is a display lane: children share their parent's lane (they
+  nest inside it by construction), and unrelated overlapping spans get
+  separate lanes, because complete ("X") events on one track must nest
+  properly or viewers drop them;
+- ``ts``/``dur`` are microseconds (floats), the format's unit; simulated
+  nanoseconds divide by 1e3 exactly, so nothing is rounded away;
+- events are sorted by ``ts`` (monotone), metadata ("M") events first.
+
+``validate_chrome_trace`` checks the invariants the obs-smoke CI job
+gates on, so an export that Perfetto would reject fails loudly here.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, TYPE_CHECKING
+
+from repro.obs.span import UNSTAMPED, Span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.obs import Observability
+
+__all__ = ["chrome_trace", "save_chrome_trace", "validate_chrome_trace"]
+
+
+def _span_category(name: str) -> str:
+    return name.split(".", 1)[0].split(":", 1)[0] or "span"
+
+
+def _assign_lanes(spans: list[Span], total_ns: int) -> dict[int, int]:
+    """Display lane per span id: parent's lane when known, else the first
+    lane free at the span's start (so same-lane spans always nest)."""
+    lanes: dict[int, int] = {}
+    node_of: dict[int, int] = {}
+    free_at: dict[int, list[int]] = {}  # node -> per-lane busy-until
+    for span in sorted(spans, key=lambda s: (s.node, s.start, s.sid)):
+        node_of[span.sid] = span.node
+        end = total_ns if span.open else span.end
+        parent_lane = lanes.get(span.parent)
+        if parent_lane is not None and node_of.get(span.parent) == span.node:
+            # Same-node children nest inside their parent by construction.
+            lanes[span.sid] = parent_lane
+            continue
+        node_lanes = free_at.setdefault(span.node, [])
+        for lane, busy_until in enumerate(node_lanes):
+            if busy_until <= span.start:
+                node_lanes[lane] = end
+                lanes[span.sid] = lane
+                break
+        else:
+            node_lanes.append(end)
+            lanes[span.sid] = len(node_lanes) - 1
+    return lanes
+
+
+def chrome_trace(obs: "Observability", total_ns: int | None = None) -> dict[str, Any]:
+    """Render the recorded spans as a Chrome trace-event document."""
+    spans = [s for s in obs.spans if s.start != UNSTAMPED]
+    if total_ns is None:
+        total_ns = max((s.end for s in spans if not s.open), default=0)
+    lanes = _assign_lanes(spans, total_ns)
+    events: list[dict[str, Any]] = []
+    nodes = sorted({s.node for s in spans})
+    for node in nodes:
+        events.append(
+            {
+                "name": "process_name", "ph": "M", "ts": 0.0,
+                "pid": node, "tid": 0,
+                "args": {"name": f"node {node}"},
+            }
+        )
+    for span in spans:
+        end = total_ns if span.open else span.end
+        args: dict[str, Any] = {"sid": span.sid, "parent": span.parent}
+        args.update(span.attrs)
+        if span.open:
+            args["open"] = True
+        events.append(
+            {
+                "name": span.name,
+                "cat": _span_category(span.name),
+                "ph": "X",
+                "ts": span.start / 1e3,
+                "dur": max(0, end - span.start) / 1e3,
+                "pid": span.node,
+                "tid": lanes[span.sid],
+                "args": args,
+            }
+        )
+    events.sort(key=lambda ev: (ev["ts"], ev["ph"] != "M", ev["pid"], ev["tid"]))
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def save_chrome_trace(
+    path: str, obs: "Observability", total_ns: int | None = None
+) -> int:
+    """Write the Chrome trace JSON; returns the event count."""
+    doc = chrome_trace(obs, total_ns=total_ns)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    return len(doc["traceEvents"])
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Check a trace-event document against the schema the viewers
+    actually enforce; returns a list of problems (empty = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents list"]
+    last_ts: float | None = None
+    for index, ev in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"{where}: missing {key!r}")
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "i", "I"):
+            problems.append(f"{where}: unsupported phase {ph!r}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        elif last_ts is not None and ts < last_ts:
+            problems.append(f"{where}: ts {ts} is not monotone (prev {last_ts})")
+        else:
+            last_ts = ts
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event with bad dur {dur!r}")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            problems.append(f"{where}: args must be an object")
+    return problems

@@ -1,0 +1,226 @@
+"""Causal spans over simulated time.
+
+A :class:`Span` is one timed section of work on one node — a page fault,
+an rpc round-trip, a server handler, a disk transfer.  Spans form trees:
+a fault opens a root span, its span id rides on every message the fault
+sends (``Message.span``), and the receiving node's handler opens a child
+span under it, so a read fault becomes::
+
+    fault.read (node 1)
+    └── rpc:svm.read (node 1)                 client round-trip
+        └── serve:svm.read (node 0)           manager handler
+            └── serve:svm.read (node 2)       forwarded to the owner
+                └── disk.read (node 2)        owner paged the frame in
+
+with per-hop simulated-time durations.  Span ids are small integers
+allocated in emission order; id 0 means "no span" (the :data:`NULL_SPAN`
+parent of roots, and the id that rides on messages when observability is
+off).
+
+Tracing is opt-in with a no-op fast path: a disabled tracer hands back
+:data:`NULL_SPAN` from :meth:`SpanTracer.span_begin` and ignores it in
+:meth:`SpanTracer.span_end`, so instrumented code needs no conditionals
+and the hot path pays one attribute check.  Recording is pure
+observation — it never schedules events, yields effects, or consumes
+RNG, so enabling it cannot change simulated times or event counts.
+
+Like :class:`repro.sim.trace.TraceRecorder`, a tracer used before the
+cluster binds its clock stamps :data:`UNSTAMPED` rather than a plausible
+zero, and streams round-trip through :meth:`save` / :meth:`load` using
+the repo's JSONL conventions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterator
+
+from repro.sim.trace import UNSTAMPED, jsonable
+
+__all__ = ["Span", "SpanTracer", "NULL_SPAN", "UNSTAMPED"]
+
+
+class Span:
+    """One timed, attributed section of simulated work on one node."""
+
+    __slots__ = ("sid", "parent", "name", "node", "start", "end", "attrs")
+
+    def __init__(
+        self,
+        sid: int,
+        parent: int,
+        name: str,
+        node: int,
+        start: int,
+        end: int = UNSTAMPED,
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        self.sid = sid
+        self.parent = parent
+        self.name = name
+        self.node = node
+        self.start = start
+        self.end = end
+        self.attrs = attrs if attrs is not None else {}
+
+    @property
+    def open(self) -> bool:
+        return self.end == UNSTAMPED
+
+    @property
+    def duration(self) -> int | None:
+        """Simulated duration in ns, or None while the span is open or
+        when it was begun before the clock was bound."""
+        if self.open or self.start == UNSTAMPED:
+            return None
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.sid}, {self.name!r}, node={self.node}, "
+            f"[{self.start}, {self.end}], parent={self.parent})"
+        )
+
+
+#: The span handed out by a disabled tracer (and the parent of roots).
+#: Its id 0 is what rides on messages when observability is off.
+NULL_SPAN = Span(0, 0, "", -1, UNSTAMPED, UNSTAMPED, {})
+
+
+class SpanTracer:
+    """Collects spans; disabled instances are no-ops returning NULL_SPAN."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self._by_sid: dict[int, Span] = {}
+        self._next_sid = 0
+        self._clock: Callable[[], int] | None = None
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        """Attach the simulator clock; called by the cluster at boot."""
+        self._clock = clock
+
+    def _now(self) -> int:
+        return self._clock() if self._clock is not None else UNSTAMPED
+
+    # ------------------------------------------------------------------
+    # recording
+
+    def span_begin(
+        self,
+        name: str,
+        parent: "Span | int | None" = 0,
+        node: int = -1,
+        start: int | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span; returns :data:`NULL_SPAN` when disabled.
+
+        ``parent`` accepts a :class:`Span`, a raw span id (e.g. the id
+        that arrived on a message), or None (a root).  ``start``
+        overrides the clock for sections whose measurement began before
+        the span could be opened (a write fault's latency clock starts
+        before the owner-materialisation step that decides whether the
+        fault is real).
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        pid = parent.sid if isinstance(parent, Span) else int(parent or 0)
+        self._next_sid += 1
+        span = Span(
+            self._next_sid, pid, name, node,
+            self._now() if start is None else start,
+            UNSTAMPED, attrs if attrs else {},
+        )
+        self.spans.append(span)
+        self._by_sid[span.sid] = span
+        return span
+
+    def span_end(self, span: Span, end: int | None = None) -> None:
+        """Close a span; :data:`NULL_SPAN` (id 0) is ignored."""
+        if span.sid == 0:
+            return
+        span.end = self._now() if end is None else end
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    def get(self, sid: int) -> Span | None:
+        return self._by_sid.get(sid)
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans if s.parent == 0]
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent == span.sid]
+
+    def select(self, name: str, **match: Any) -> list[Span]:
+        """Spans named ``name`` whose attrs match all of ``match``."""
+        return [
+            s
+            for s in self.spans
+            if s.name == name
+            and all(s.attrs.get(k) == v for k, v in match.items())
+        ]
+
+    def subtree(self, span: Span) -> list[Span]:
+        """``span`` and every descendant, in emission order."""
+        wanted = {span.sid}
+        out = [span]
+        for s in self.spans:
+            if s.parent in wanted and s.sid not in wanted:
+                wanted.add(s.sid)
+                out.append(s)
+        return out
+
+    def open_spans(self) -> list[Span]:
+        return [s for s in self.spans if s.open]
+
+    # ------------------------------------------------------------------
+    # persistence (same JSONL conventions as TraceRecorder)
+
+    def save(self, path: str) -> int:
+        """Write the spans as JSON lines; returns the span count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for s in self.spans:
+                fh.write(
+                    json.dumps(
+                        {
+                            "sid": s.sid, "parent": s.parent, "name": s.name,
+                            "node": s.node, "start": s.start, "end": s.end,
+                            "attrs": s.attrs,
+                        },
+                        default=jsonable,
+                    )
+                )
+                fh.write("\n")
+        return len(self.spans)
+
+    @classmethod
+    def load(cls, path: str) -> "SpanTracer":
+        tracer = cls()
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                raw = json.loads(line)
+                span = Span(
+                    int(raw["sid"]), int(raw["parent"]), raw["name"],
+                    int(raw["node"]), int(raw["start"]), int(raw["end"]),
+                    raw.get("attrs") or {},
+                )
+                tracer.spans.append(span)
+                tracer._by_sid[span.sid] = span
+                tracer._next_sid = max(tracer._next_sid, span.sid)
+        return tracer

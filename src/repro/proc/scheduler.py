@@ -24,6 +24,7 @@ from typing import Any, Generator
 
 from repro.config import ClusterConfig
 from repro.metrics.collect import Counters
+from repro.obs import NULL_OBS, Observability
 from repro.proc.pcb import PCB, Pid, ProcState
 from repro.sim.kernel import Simulator
 from repro.sim.process import (
@@ -49,11 +50,13 @@ class NodeScheduler(Driver):
         node_id: int,
         config: ClusterConfig,
         counters: Counters,
+        obs: Observability = NULL_OBS,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
         self.config = config
         self.counters = counters
+        self.obs = obs
         self.ready: deque[PCB] = deque()
         self.current: PCB | None = None
         #: Live PCBs resident here, by pid (stubs live in `forwards`).
@@ -114,6 +117,11 @@ class NodeScheduler(Driver):
         pcb: PCB = task.pcb  # type: ignore[attr-defined]
         if isinstance(effect, Compute):
             # The running process keeps the CPU; no dispatch.
+            if self.obs:
+                # Application CPU time: the profiler's "compute" source.
+                self.obs.interval(
+                    self.node_id, "compute", self.sim.now, self.sim.now + effect.ns
+                )
             self.sim.schedule(effect.ns, self._resume, task)
         elif isinstance(effect, Sleep):
             task.state = TaskState.BLOCKED
@@ -220,6 +228,11 @@ class NodeScheduler(Driver):
         self.current = pcb
         pcb.state = ProcState.RUNNING
         self.counters.inc("context_switches")
+        if self.obs:
+            self.obs.interval(
+                self.node_id, "compute",
+                self.sim.now, self.sim.now + self.config.cpu.context_switch,
+            )
         value, pcb.wake_value = pcb.wake_value, None
         self.sim.schedule(
             self.config.cpu.context_switch, self._first_step, pcb, value

@@ -107,6 +107,15 @@ class Simulator:
         #: explorer installs one to turn ties into choice points.
         self.scheduler: Scheduler | None = None
 
+    def clock(self) -> Callable[[], int]:
+        """A zero-argument callable reading the current simulated time.
+
+        Observability layers (trace recorders, span tracers) bind this
+        rather than holding the simulator, so they can stamp records
+        without any ability to perturb the schedule.
+        """
+        return lambda: self.now
+
     # ------------------------------------------------------------------
     # scheduling
 

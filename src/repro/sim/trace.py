@@ -113,7 +113,23 @@ class TraceRecorder:
                 yield ev
 
     def save(self, path: str) -> int:
-        """Write the recorded stream as JSON lines; returns event count."""
+        """Write the recorded stream as JSON lines; returns event count.
+
+        Events emitted before :meth:`bind_clock` carry :data:`UNSTAMPED`
+        times; they are saved (the stream stays complete) but a warning
+        reports how many, because downstream latency statistics must not
+        treat ``-1`` as a time (``repro.metrics.report.fault_latency_stats``
+        excludes them).
+        """
+        unstamped = sum(1 for ev in self.events if not ev.stamped)
+        if unstamped:
+            import warnings
+
+            warnings.warn(
+                f"{unstamped} of {len(self.events)} trace events are UNSTAMPED "
+                "(emitted before bind_clock); latency statistics will skip them",
+                stacklevel=2,
+            )
         with open(path, "w", encoding="utf-8") as fh:
             for ev in self.events:
                 fh.write(

@@ -44,6 +44,7 @@ from repro.machine.pager import Pager
 from repro.metrics.collect import Counters
 from repro.net.packet import annotate_op, request_size
 from repro.net.remoteop import Forward, NO_REPLY, RemoteOp, Reply
+from repro.obs import NULL_OBS, Observability, Span
 from repro.sim.kernel import Simulator
 from repro.sim.process import Compute, Effect
 from repro.sim.trace import NULL_TRACE, TraceRecorder
@@ -119,6 +120,7 @@ class CoherenceProtocol:
         config: ClusterConfig,
         counters: Counters,
         trace: TraceRecorder = NULL_TRACE,
+        obs: Observability = NULL_OBS,
     ) -> None:
         self.sim = sim
         self.node_id = node_id
@@ -131,6 +133,7 @@ class CoherenceProtocol:
         self.config = config
         self.counters = counters
         self.trace = trace
+        self.obs = obs
         self.page_size = layout.page_size
         #: Online coherence oracle (repro.analysis), attached by the
         #: cluster when ``ClusterConfig.checker`` is set.  Checking is
@@ -221,7 +224,12 @@ class CoherenceProtocol:
     locates_by_broadcast = False
 
     def _locate_request(
-        self, page: int, entry: PageTableEntry, op: str, write: bool
+        self,
+        page: int,
+        entry: PageTableEntry,
+        op: str,
+        write: bool,
+        span: Span | None = None,
     ) -> Generator[Effect, Any, Any]:
         """Send one fault request to wherever the owner can be found.
 
@@ -239,10 +247,11 @@ class CoherenceProtocol:
         if self.locates_by_broadcast:
             while True:
                 owner = yield from self.remote.broadcast(
-                    OP_LOCATE, page, nbytes=FAULT_REQUEST_BYTES, scheme="any"
+                    OP_LOCATE, page, nbytes=FAULT_REQUEST_BYTES, scheme="any",
+                    span=span,
                 )
                 value = yield from self.remote.request(
-                    owner, op, page, nbytes=FAULT_REQUEST_BYTES
+                    owner, op, page, nbytes=FAULT_REQUEST_BYTES, span=span
                 )
                 if value == RETRY:
                     self.counters.inc("locate_retries")
@@ -250,7 +259,7 @@ class CoherenceProtocol:
                 return value
         target = self.fault_target(page, entry, write=write)
         value = yield from self.remote.request(
-            target, op, page, nbytes=FAULT_REQUEST_BYTES
+            target, op, page, nbytes=FAULT_REQUEST_BYTES, span=span
         )
         return value
 
@@ -295,32 +304,42 @@ class CoherenceProtocol:
             self.counters.inc("read_faults")
             if self._observed:
                 self._note("svm.fault_begin", node=self.node_id, page=page, write=False)
-            yield Compute(self.config.svm.fault_handler_cost)
-            while True:
-                epoch = entry.inv_epoch
-                data, owner = yield from self._locate_request(
-                    page, entry, OP_READ, write=False
-                )
-                if entry.inv_epoch != epoch:
-                    # Our copy was invalidated while in flight: the page
-                    # has a newer owner; chase it.
-                    self.counters.inc("stale_read_retries")
-                    continue
-                image = None if data is None else np.frombuffer(data, dtype=np.uint8)
-                yield from self.pager.install(page, image)
-                if entry.inv_epoch != epoch:
-                    # install() may consume time under frame pressure
-                    # (evictions hit the disk); an invalidation that
-                    # landed during that window makes the image stale.
-                    self.memory.drop(page)
-                    self.counters.inc("stale_read_retries")
-                    continue
-                entry.access = Access.READ
-                entry.prob_owner = owner
-                break
-            self.counters.inc("read_fault_ns", self.sim.now - started)
-            if self._observed:
-                self._note("svm.read_fault", node=self.node_id, page=page, owner=owner)
+            span = self.obs.span_begin("fault.read", node=self.node_id, page=page)
+            try:
+                yield Compute(self.config.svm.fault_handler_cost)
+                while True:
+                    epoch = entry.inv_epoch
+                    data, owner = yield from self._locate_request(
+                        page, entry, OP_READ, write=False, span=span
+                    )
+                    if entry.inv_epoch != epoch:
+                        # Our copy was invalidated while in flight: the page
+                        # has a newer owner; chase it.
+                        self.counters.inc("stale_read_retries")
+                        continue
+                    image = None if data is None else np.frombuffer(data, dtype=np.uint8)
+                    yield from self.pager.install(page, image)
+                    if entry.inv_epoch != epoch:
+                        # install() may consume time under frame pressure
+                        # (evictions hit the disk); an invalidation that
+                        # landed during that window makes the image stale.
+                        self.memory.drop(page)
+                        self.counters.inc("stale_read_retries")
+                        continue
+                    entry.access = Access.READ
+                    entry.prob_owner = owner
+                    break
+                latency = self.sim.now - started
+                self.counters.inc("read_fault_ns", latency)
+                if self.obs:
+                    self.obs.observe("fault.read_ns", latency)
+                if self._observed:
+                    self._note(
+                        "svm.read_fault", node=self.node_id, page=page, owner=owner,
+                        ns=latency,
+                    )
+            finally:
+                self.obs.span_end(span)
         finally:
             entry.lock.release()
 
@@ -377,49 +396,70 @@ class CoherenceProtocol:
                     self._note(
                         "svm.fault_begin", node=self.node_id, page=page, write=True
                     )
-                yield Compute(self.config.svm.fault_handler_cost)
-                yield from self._invalidate(page, entry.copy_set)
-                invalidated = sorted(entry.copy_set)
-                entry.copy_set = set()
-                self.counters.inc("write_fault_ns", self.sim.now - started)
-                entry.access = Access.WRITE
-                if self._observed:
-                    self._note(
-                        "svm.write_upgrade",
-                        node=self.node_id, page=page, invalidated=invalidated,
-                    )
-                return
+                span = self.obs.span_begin(
+                    "fault.write", node=self.node_id, page=page,
+                    start=started, upgrade=True,
+                )
+                try:
+                    yield Compute(self.config.svm.fault_handler_cost)
+                    yield from self._invalidate(page, entry.copy_set, span=span)
+                    invalidated = sorted(entry.copy_set)
+                    entry.copy_set = set()
+                    latency = self.sim.now - started
+                    self.counters.inc("write_fault_ns", latency)
+                    if self.obs:
+                        self.obs.observe("fault.write_ns", latency)
+                    entry.access = Access.WRITE
+                    if self._observed:
+                        self._note(
+                            "svm.write_upgrade",
+                            node=self.node_id, page=page, invalidated=invalidated,
+                            ns=latency,
+                        )
+                    return
+                finally:
+                    self.obs.span_end(span)
             entry.access = Access.WRITE
             return
         self.counters.inc("write_faults")
         if self._observed:
             self._note("svm.fault_begin", node=self.node_id, page=page, write=True)
-        yield Compute(self.config.svm.fault_handler_cost)
-        data, copy_set, xfer = yield from self._locate_request(
-            page, entry, OP_WRITE, write=True
+        span = self.obs.span_begin(
+            "fault.write", node=self.node_id, page=page, start=started
         )
-        image = None if data is None else np.frombuffer(data, dtype=np.uint8)
-        yield from self.pager.install(page, image)
-        entry.is_owner = True
-        entry.on_disk = False
-        entry.prob_owner = self.node_id
-        entry.xfer_count = xfer
-        holders = set(copy_set) - {self.node_id}
-        if self.update_policy:
-            # Copies stay alive; the new owner inherits the copy set and
-            # keeps it fresh on every store.
-            entry.copy_set = holders
-        else:
-            if holders:
-                yield from self._invalidate(page, holders)
-            entry.copy_set = set()
-        entry.access = Access.WRITE
-        self.counters.inc("write_fault_ns", self.sim.now - started)
+        try:
+            yield Compute(self.config.svm.fault_handler_cost)
+            data, copy_set, xfer = yield from self._locate_request(
+                page, entry, OP_WRITE, write=True, span=span
+            )
+            image = None if data is None else np.frombuffer(data, dtype=np.uint8)
+            yield from self.pager.install(page, image)
+            entry.is_owner = True
+            entry.on_disk = False
+            entry.prob_owner = self.node_id
+            entry.xfer_count = xfer
+            holders = set(copy_set) - {self.node_id}
+            if self.update_policy:
+                # Copies stay alive; the new owner inherits the copy set and
+                # keeps it fresh on every store.
+                entry.copy_set = holders
+            else:
+                if holders:
+                    yield from self._invalidate(page, holders, span=span)
+                entry.copy_set = set()
+            entry.access = Access.WRITE
+            latency = self.sim.now - started
+            self.counters.inc("write_fault_ns", latency)
+            if self.obs:
+                self.obs.observe("fault.write_ns", latency)
+        finally:
+            self.obs.span_end(span)
         self.on_became_owner(page, entry)
         if self._observed:
             self._note(
                 "svm.write_fault", node=self.node_id, page=page,
                 invalidated=sorted(holders),
+                ns=latency,
             )
 
     # ------------------------------------------------------------------
@@ -444,7 +484,7 @@ class CoherenceProtocol:
             )
 
     def _invalidate(
-        self, page: int, holders: set[int]
+        self, page: int, holders: set[int], span: Span | None = None
     ) -> Generator[Effect, Any, None]:
         """Invalidate every read copy; waits for all acknowledgements
         (the broadcast "replies from all" scheme of the paper)."""
@@ -454,9 +494,18 @@ class CoherenceProtocol:
             self._note(
                 "svm.invalidate", node=self.node_id, page=page, targets=targets
             )
-        yield from self.remote.multicast(
-            targets, OP_INV, (page, self.node_id), nbytes=request_size(16)
+        if self.obs:
+            self.obs.observe("inv.fanout", len(targets))
+        ispan = self.obs.span_begin(
+            "inv", parent=span, node=self.node_id, page=page, fanout=len(targets)
         )
+        try:
+            yield from self.remote.multicast(
+                targets, OP_INV, (page, self.node_id), nbytes=request_size(16),
+                span=ispan,
+            )
+        finally:
+            self.obs.span_end(ispan)
 
     # ------------------------------------------------------------------
     # servers (run as interrupt-level tasks on the serving node)
@@ -591,19 +640,26 @@ class CoherenceProtocol:
                 return
             if self._observed:
                 self._note("svm.fault_begin", node=self.node_id, page=page, write=True)
-            copy_set, xfer = yield from self._locate_request(
-                page, entry, OP_CHOWN, write=True
-            )
-            entry.is_owner = True
-            entry.on_disk = False
-            entry.prob_owner = self.node_id
-            entry.xfer_count = xfer
-            holders = set(copy_set) - {self.node_id}
-            if holders:
-                yield from self._invalidate(page, holders)
-            entry.copy_set = set()
-            entry.access = Access.WRITE
-            self.counters.inc("ownership_transfers")
+            started = self.sim.now
+            span = self.obs.span_begin("fault.chown", node=self.node_id, page=page)
+            try:
+                copy_set, xfer = yield from self._locate_request(
+                    page, entry, OP_CHOWN, write=True, span=span
+                )
+                entry.is_owner = True
+                entry.on_disk = False
+                entry.prob_owner = self.node_id
+                entry.xfer_count = xfer
+                holders = set(copy_set) - {self.node_id}
+                if holders:
+                    yield from self._invalidate(page, holders, span=span)
+                entry.copy_set = set()
+                entry.access = Access.WRITE
+                self.counters.inc("ownership_transfers")
+                if self.obs:
+                    self.obs.observe("fault.chown_ns", self.sim.now - started)
+            finally:
+                self.obs.span_end(span)
             self.on_became_owner(page, entry)
             if self._observed:
                 self._note("svm.chown", node=self.node_id, page=page)
@@ -661,6 +717,8 @@ class CoherenceProtocol:
         data = self.memory.data(page).tobytes()
         yield Compute(self.page_size * self.config.cpu.ns_per_byte_copy)
         self.counters.inc("updates_sent", len(entry.copy_set))
+        if self.obs:
+            self.obs.observe("update.fanout", len(entry.copy_set))
         yield from self.remote.multicast(
             tuple(sorted(entry.copy_set)), OP_UPDATE, (page, data),
             nbytes=self.page_size + 48,

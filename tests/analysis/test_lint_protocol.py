@@ -185,3 +185,104 @@ def test_cli_exit_codes(tmp_path, capsys):
     )
     assert lint.main([str(bad)]) == 1
     assert "finding" in capsys.readouterr().out
+
+
+def test_flags_unbalanced_span(tmp_path):
+    bad = tmp_path / "bad_span.py"
+    bad.write_text(
+        "class P:\n"
+        "    def fault(self, page):\n"
+        "        span = self.obs.span_begin('fault.read', node=0)\n"
+        "        yield from self.fetch(page)\n"
+        "        self.obs.span_end(span)\n"  # not in a finally: leaks
+    )
+    findings = lint.lint_paths([str(bad)])
+    assert len(findings) == 1
+    assert "span_end" in findings[0]
+    assert "try/finally" in findings[0]
+
+
+def test_accepts_balanced_span(tmp_path):
+    good = tmp_path / "good_span.py"
+    good.write_text(
+        "class P:\n"
+        "    def fault(self, page):\n"
+        "        span = self.obs.span_begin('fault.read', node=0)\n"
+        "        try:\n"
+        "            yield from self.fetch(page)\n"
+        "        finally:\n"
+        "            self.obs.span_end(span)\n"
+    )
+    assert lint.lint_paths([str(good)]) == []
+
+
+def test_accepts_span_balanced_inside_a_nested_suite(tmp_path):
+    # The span_begin sits under an `if`; the try/finally lives at the
+    # same nesting level — the outer `if` must not be flagged.
+    good = tmp_path / "nested_span.py"
+    good.write_text(
+        "class P:\n"
+        "    def fault(self, page):\n"
+        "        if page > 0:\n"
+        "            span = self.obs.span_begin('fault.write', node=0)\n"
+        "            try:\n"
+        "                yield from self.fetch(page)\n"
+        "            finally:\n"
+        "                self.obs.span_end(span)\n"
+        "        yield from self.done(page)\n"
+    )
+    assert lint.lint_paths([str(good)]) == []
+
+
+def test_flags_unbalanced_span_inside_a_nested_suite(tmp_path):
+    bad = tmp_path / "nested_bad_span.py"
+    bad.write_text(
+        "class P:\n"
+        "    def fault(self, page):\n"
+        "        if page > 0:\n"
+        "            span = self.obs.span_begin('fault.write', node=0)\n"
+        "            yield from self.fetch(page)\n"
+        "        yield from self.done(page)\n"
+    )
+    findings = lint.lint_paths([str(bad)])
+    assert len(findings) == 1
+    assert "span_begin" in findings[0]
+
+
+def test_span_in_plain_function_is_out_of_scope(tmp_path):
+    # Only effect generators are checked: a plain helper cannot be
+    # suspended mid-section by the scheduler.
+    ok = tmp_path / "plain_span.py"
+    ok.write_text(
+        "class P:\n"
+        "    def note(self):\n"
+        "        span = self.obs.span_begin('x', node=0)\n"
+        "        self.obs.span_end(span)\n"
+    )
+    assert lint.lint_paths([str(ok)]) == []
+
+
+def test_span_suppression_comment_is_honoured(tmp_path):
+    handed = tmp_path / "handed_span.py"
+    handed.write_text(
+        "class P:\n"
+        "    def begin(self, page):\n"
+        "        span = self.obs.span_begin('fault.read', node=0)  "
+        "# lint: keeps-lock\n"
+        "        yield from self.fetch(page)\n"
+        "        return span\n"
+    )
+    assert lint.lint_paths([str(handed)]) == []
+
+
+def test_real_obs_instrumented_sources_are_clean():
+    assert (
+        lint.lint_paths(
+            [
+                str(ROOT / "src" / "repro" / "net"),
+                str(ROOT / "src" / "repro" / "machine"),
+                str(ROOT / "src" / "repro" / "obs"),
+            ]
+        )
+        == []
+    )

@@ -1,0 +1,109 @@
+"""Chrome trace-event exporter tests: valid JSON, monotone timestamps,
+lane nesting, and the validator's teeth."""
+
+import json
+
+from repro.obs import Observability
+from repro.obs.export import chrome_trace, save_chrome_trace, validate_chrome_trace
+
+
+def _traced_obs() -> Observability:
+    obs = Observability()
+    now = [0]
+    obs.bind_clock(lambda: now[0])
+    root = obs.span_begin("fault.read", node=1, page=3)
+    rpc = obs.span_begin("rpc:svm.read", parent=root, node=1)
+    serve = obs.span_begin("serve:svm.read", parent=rpc, node=0)
+    now[0] = 1500
+    obs.span_end(serve)
+    now[0] = 2000
+    obs.span_end(rpc)
+    now[0] = 2500
+    obs.span_end(root)
+    return obs
+
+
+def test_export_is_valid_json_with_monotone_ts(tmp_path):
+    path = tmp_path / "trace.json"
+    count = save_chrome_trace(str(path), _traced_obs())
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)  # valid JSON or this raises
+    events = doc["traceEvents"]
+    assert len(events) == count
+    ts = [ev["ts"] for ev in events]
+    assert ts == sorted(ts), "timestamps must be monotone"
+    assert validate_chrome_trace(doc) == []
+
+
+def test_metadata_events_come_first_and_name_nodes():
+    doc = chrome_trace(_traced_obs())
+    events = doc["traceEvents"]
+    meta = [ev for ev in events if ev["ph"] == "M"]
+    assert {ev["args"]["name"] for ev in meta} == {"node 0", "node 1"}
+    first_x = next(i for i, ev in enumerate(events) if ev["ph"] == "X")
+    assert all(ev["ph"] == "M" for ev in events[:first_x])
+
+
+def test_units_are_microseconds_and_pid_is_node():
+    doc = chrome_trace(_traced_obs())
+    root = next(ev for ev in doc["traceEvents"] if ev["name"] == "fault.read")
+    assert root["pid"] == 1
+    assert root["ts"] == 0.0 and root["dur"] == 2.5  # 2500 ns = 2.5 us
+    assert root["cat"] == "fault"
+    assert root["args"]["page"] == 3
+
+
+def test_same_node_children_share_their_parents_lane():
+    doc = chrome_trace(_traced_obs())
+    by_name = {ev["name"]: ev for ev in doc["traceEvents"] if ev["ph"] == "X"}
+    # rpc child nests inside the fault root on node 1: same display lane.
+    assert by_name["rpc:svm.read"]["tid"] == by_name["fault.read"]["tid"]
+    # The serve span is on another node (another pid entirely).
+    assert by_name["serve:svm.read"]["pid"] == 0
+
+
+def test_unrelated_overlapping_spans_get_distinct_lanes():
+    obs = Observability()
+    now = [0]
+    obs.bind_clock(lambda: now[0])
+    a = obs.span_begin("fault.read", node=0)
+    b = obs.span_begin("fault.write", node=0)  # overlaps a, not related
+    now[0] = 10
+    obs.span_end(a)
+    obs.span_end(b)
+    doc = chrome_trace(obs)
+    lanes = {ev["name"]: ev["tid"] for ev in doc["traceEvents"] if ev["ph"] == "X"}
+    assert lanes["fault.read"] != lanes["fault.write"]
+
+
+def test_open_spans_export_clamped_with_marker():
+    obs = Observability()
+    now = [0]
+    obs.bind_clock(lambda: now[0])
+    obs.span_begin("disk.read", node=0)  # never closed
+    doc = chrome_trace(obs, total_ns=4000)
+    ev = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+    assert ev["dur"] == 4.0
+    assert ev["args"]["open"] is True
+    assert validate_chrome_trace(doc) == []
+
+
+def test_validator_rejects_broken_documents():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({}) == ["missing traceEvents list"]
+    bad_phase = {"traceEvents": [
+        {"name": "x", "ph": "B", "ts": 0.0, "pid": 0, "tid": 0},
+    ]}
+    assert any("phase" in p for p in validate_chrome_trace(bad_phase))
+    non_monotone = {"traceEvents": [
+        {"name": "a", "ph": "X", "ts": 5.0, "dur": 1.0, "pid": 0, "tid": 0},
+        {"name": "b", "ph": "X", "ts": 1.0, "dur": 1.0, "pid": 0, "tid": 0},
+    ]}
+    assert any("monotone" in p for p in validate_chrome_trace(non_monotone))
+    bad_dur = {"traceEvents": [
+        {"name": "a", "ph": "X", "ts": 0.0, "dur": -2.0, "pid": 0, "tid": 0},
+    ]}
+    assert any("dur" in p for p in validate_chrome_trace(bad_dur))
+    missing_key = {"traceEvents": [{"name": "a", "ph": "X", "ts": 0.0, "dur": 1.0}]}
+    problems = validate_chrome_trace(missing_key)
+    assert any("pid" in p for p in problems) and any("tid" in p for p in problems)

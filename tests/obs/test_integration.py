@@ -1,0 +1,165 @@
+"""End-to-end observability invariants on real runs.
+
+The three acceptance properties of the observability layer:
+
+1. *Zero perturbation* — enabling observability changes neither the
+   simulated runtime nor the number of events executed (hooks are pure
+   observation: no scheduling, no effects, no RNG).
+2. *Span-root == latency* — every ``svm.read_fault`` / ``svm.write_fault``
+   trace event belongs to a span tree whose root duration equals the
+   fault's measured service latency (the ``ns`` field / the
+   ``*_fault_ns`` counters).
+3. *Exact attribution* — the profiler partitions each node's ``[0, T]``
+   so the per-node breakdown sums to T with zero error.
+"""
+
+import json
+
+import pytest
+
+from repro.api.ivy import Ivy
+from repro.apps.dotprod import DotProductApp
+from repro.config import ClusterConfig
+from repro.obs import Observability
+from repro.obs.export import validate_chrome_trace
+from repro.sim.trace import TraceRecorder
+
+NPROCS = 2
+
+
+def _run(obs: Observability | None = None, trace=None):
+    config = ClusterConfig(nodes=NPROCS)
+    app = DotProductApp(NPROCS, n=2048)
+    kwargs = {}
+    if trace is not None:
+        kwargs["trace"] = trace
+    ivy = Ivy(config, obs=obs, **kwargs)
+    result = ivy.run(app.main)
+    app.check(result)
+    return ivy
+
+
+def test_observability_does_not_perturb_the_simulation():
+    base = _run()
+    observed = _run(obs=Observability())
+    assert observed.time_ns == base.time_ns
+    assert (
+        observed.cluster.sim.events_executed == base.cluster.sim.events_executed
+    )
+    assert observed.cluster.total_counters().snapshot() == (
+        base.cluster.total_counters().snapshot()
+    )
+
+
+def test_every_fault_has_a_span_tree_rooted_at_its_latency():
+    obs = Observability()
+    trace = TraceRecorder(categories={"svm.read_fault", "svm.write_fault"})
+    ivy = _run(obs=obs, trace=trace)
+    del ivy
+    faults = list(trace)
+    assert faults, "a 2-node dotprod run must fault"
+    roots = [s for s in obs.spans.roots() if s.name.startswith("fault.")]
+    # Match each fault event to a root span closing at the event's time
+    # on the faulting node, for the same page, with duration == ns.
+    unmatched = list(roots)
+    for ev in faults:
+        kind = "fault.read" if ev.category == "svm.read_fault" else "fault.write"
+        hit = next(
+            (
+                s
+                for s in unmatched
+                if s.name == kind
+                and s.node == ev.fields["node"]
+                and s.attrs.get("page") == ev.fields["page"]
+                and s.end == ev.time
+                and s.duration == ev.fields["ns"]
+            ),
+            None,
+        )
+        assert hit is not None, f"no span tree for fault event {ev.fields}"
+        unmatched.remove(hit)
+        # The root's tree reaches the nodes that serviced the fault.
+        subtree = obs.spans.subtree(hit)
+        assert all(not s.open for s in subtree)
+
+
+def test_fault_latency_histograms_cross_check_the_counters():
+    obs = Observability()
+    ivy = _run(obs=obs)
+    totals = ivy.cluster.total_counters()
+    hists = obs.metrics.histograms
+    assert hists["fault.read_ns"].count == totals["read_faults"]
+    assert hists["fault.read_ns"].total == totals["read_fault_ns"]
+    if totals["write_faults"]:
+        assert hists["fault.write_ns"].count == totals["write_faults"]
+        assert hists["fault.write_ns"].total == totals["write_fault_ns"]
+
+
+def test_no_spans_left_open_and_profile_sums_exactly():
+    obs = Observability()
+    ivy = _run(obs=obs)
+    assert obs.spans.open_spans() == []
+    total = ivy.time_ns
+    per_node = obs.breakdown(NPROCS, total)
+    for node, counts in per_node.items():
+        assert sum(counts.values()) == total, f"node {node} attribution drifted"
+
+
+def test_cli_export_and_validate_roundtrip(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    out = tmp_path / "dotprod_trace.json"
+    assert main(["export", "--app", "dotprod", "--nodes", "2", "--out", str(out)]) == 0
+    with open(out, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    assert validate_chrome_trace(doc) == []
+    assert main(["validate", str(out)]) == 0
+    assert "valid trace-event JSON" in capsys.readouterr().out
+
+
+def test_cli_report_and_top(capsys):
+    from repro.obs.__main__ import main
+
+    assert main(["report", "--app", "dotprod", "--nodes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "fault.read_ns" in out  # instruments table
+    assert "compute" in out  # profile table
+    assert main(["top", "--app", "dotprod", "--nodes", "2"]) == 0
+    assert "fault.read" in capsys.readouterr().out
+
+
+def test_cli_validate_rejects_garbage(tmp_path, capsys):
+    from repro.obs.__main__ import main
+
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"traceEvents": [{"ph": "X"}]}')
+    assert main(["validate", str(bad)]) == 1
+    assert "missing" in capsys.readouterr().out
+
+
+def test_config_obs_flag_enables_a_private_bundle():
+    ivy = _run()  # default: shared NULL_OBS
+    assert not ivy.obs
+    config = ClusterConfig(nodes=NPROCS, obs=True)
+    app = DotProductApp(NPROCS, n=2048)
+    observed = Ivy(config)
+    observed.run(app.main)
+    assert observed.obs
+    assert len(observed.obs.spans) > 0
+    # The shared disabled instance never accumulates state.
+    from repro.obs import NULL_OBS
+
+    assert len(NULL_OBS.spans) == 0
+
+
+@pytest.mark.parametrize(
+    "algorithm", ["centralized", "fixed", "dynamic", "broadcast"]
+)
+def test_all_manager_algorithms_close_their_spans(algorithm):
+    config = ClusterConfig(nodes=NPROCS).with_svm(algorithm=algorithm)
+    obs = Observability()
+    app = DotProductApp(NPROCS, n=1024)
+    ivy = Ivy(config, obs=obs)
+    app.check(ivy.run(app.main))
+    assert obs.spans.open_spans() == []
+    assert [s for s in obs.spans.roots() if s.name.startswith("fault.")]

@@ -1,5 +1,7 @@
 """Unit tests for seeded RNG streams and the trace recorder."""
 
+import pytest
+
 from repro.sim.rng import RngStreams
 from repro.sim.trace import NULL_TRACE, TraceRecorder
 
@@ -80,3 +82,38 @@ def test_cluster_trace_integration():
     assert len(faults) == 1
     assert faults[0].time > 0
     assert trace.count("ring.send") > 0
+
+
+def test_save_warns_about_unstamped_events(tmp_path):
+    """Events emitted before bind_clock carry UNSTAMPED; save() keeps
+    them (the stream stays complete) but warns with the exact count, and
+    latency statistics skip them."""
+    from repro.metrics.report import fault_latency_stats
+
+    trace = TraceRecorder()
+    trace.emit("svm.read_fault", node=0, page=1, ns=111)  # pre-boot
+    now = [0]
+    trace.bind_clock(lambda: now[0])
+    now[0] = 50
+    trace.emit("svm.read_fault", node=0, page=2, ns=40)
+
+    path = tmp_path / "trace.jsonl"
+    with pytest.warns(UserWarning, match="1 of 2 trace events are UNSTAMPED"):
+        assert trace.save(str(path)) == 2
+    # The unstamped event is saved, not dropped.
+    assert len(TraceRecorder.load(str(path)).events) == 2
+
+    stats = fault_latency_stats(trace)
+    assert stats["svm.read_fault"].count == 1
+    assert stats["svm.read_fault"].values() == [40]
+
+
+def test_save_of_fully_stamped_trace_is_silent(tmp_path):
+    import warnings
+
+    trace = TraceRecorder()
+    trace.bind_clock(lambda: 7)
+    trace.emit("svm.read_fault", node=0, page=1, ns=3)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert trace.save(str(tmp_path / "t.jsonl")) == 1

@@ -37,9 +37,21 @@ rule 4 — balanced page-write sections
     ``SharedAddressSpace.atomic_update``).  The same
     ``# lint: keeps-lock`` annotation marks intentional hand-offs.
 
+rule 5 — balanced spans
+    Inside an effect generator, every ``span_begin(...)`` must be
+    followed by a ``try``/``finally`` whose ``finally`` calls
+    ``span_end`` (the shape of every traced fault handler in
+    ``repro/svm/protocol.py``).  A span left open by an exception path
+    survives as an "open" record: latency histograms lose the sample
+    and the Perfetto export draws the span to the end of the run —
+    silently wrong observability instead of a loud failure.  The
+    ``# lint: keeps-lock`` annotation marks intentional hand-offs
+    (e.g. a helper that opens a span its caller closes).
+
 Usage::
 
-    python tools/lint_protocol.py [paths...]   # default: src/repro/svm
+    python tools/lint_protocol.py [paths...]
+    # default: src/repro/svm src/repro/net src/repro/machine src/repro/obs
 
 Exit status 1 if any finding is reported.
 """
@@ -50,7 +62,12 @@ import ast
 import sys
 from pathlib import Path
 
-DEFAULT_PATHS = ["src/repro/svm"]
+DEFAULT_PATHS = [
+    "src/repro/svm",
+    "src/repro/net",
+    "src/repro/machine",
+    "src/repro/obs",
+]
 
 #: Servers that must stay lock-free (rule 1).
 LOCK_FREE_SERVERS = ("_serve_inv", "_serve_update", "_serve_hint")
@@ -298,6 +315,61 @@ class ProtocolLinter:
                     return True
         return False
 
+    # -- rule 5 --------------------------------------------------------
+
+    def check_balanced_spans(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_generator(node):
+                continue  # plain code can't be abandoned mid-span by a yield
+            self._check_span_body(node.body)
+
+    def _check_span_body(self, body: list[ast.stmt]) -> None:
+        for index, stmt in enumerate(body):
+            is_compound = False
+            if not isinstance(stmt, _SCOPE_BARRIERS):
+                for field_body in (
+                    getattr(stmt, "body", None),
+                    getattr(stmt, "orelse", None),
+                    getattr(stmt, "finalbody", None),
+                ):
+                    if isinstance(field_body, list) and field_body and isinstance(
+                        field_body[0], ast.stmt
+                    ):
+                        is_compound = True
+                        self._check_span_body(field_body)
+                for handler in getattr(stmt, "handlers", []) or []:
+                    is_compound = True
+                    self._check_span_body(handler.body)
+
+            if is_compound:
+                continue  # a span_begin nested in a suite: recursion covered it
+            if not _method_calls(stmt, "span_begin"):
+                continue
+            if self._suppressed(stmt.lineno):
+                continue
+            if not self._followed_by_span_end(body, index):
+                self._report(
+                    stmt.lineno,
+                    "span_begin(...) in an effect generator is not followed "
+                    "by a try/finally calling span_end — an exception path "
+                    "would leave the span open (lost latency sample, span "
+                    "drawn to end-of-run in the Perfetto export) "
+                    f"(annotate with '{SUPPRESS_COMMENT}' if the span is "
+                    "intentionally handed to the caller)",
+                )
+
+    @staticmethod
+    def _followed_by_span_end(body: list[ast.stmt], index: int) -> bool:
+        for later in body[index + 1 :]:
+            if not (isinstance(later, ast.Try) and later.finalbody):
+                continue
+            for final_stmt in later.finalbody:
+                if _method_calls(final_stmt, "span_end"):
+                    return True
+        return False
+
 
 def lint_file(path: Path) -> list[str]:
     source = path.read_text(encoding="utf-8")
@@ -307,6 +379,7 @@ def lint_file(path: Path) -> list[str]:
     linter.check_balanced_locks()
     linter.check_no_return_in_finally()
     linter.check_page_write_sections()
+    linter.check_balanced_spans()
     return linter.findings
 
 
