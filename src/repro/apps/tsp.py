@@ -31,6 +31,7 @@ schedule-independent and is checked against a Held-Karp exact solver.
 
 from __future__ import annotations
 
+import struct
 from typing import Any, Generator
 
 import numpy as np
@@ -56,47 +57,84 @@ BATCH = 2
 BEST_REFRESH = 1
 
 
-def held_karp(w: np.ndarray) -> float:
-    """Exact TSP by Held-Karp dynamic programming (golden reference)."""
+def held_karp(w: Any) -> float:
+    """Exact TSP by Held-Karp dynamic programming (golden reference).
+
+    Pure Python over nested lists: the dp loop is scalar indexing, where
+    float machinery beats numpy's per-element dispatch by an order of
+    magnitude.  Update order matches the original vectorised version, so
+    the result is bit-for-bit identical.
+    """
+    if not isinstance(w, list):
+        w = w.tolist()
     n = len(w)
     full = 1 << (n - 1)
-    dp = np.full((full, n - 1), np.inf)
+    inf = float("inf")
+    dp = [[inf] * (n - 1) for _ in range(full)]
     for j in range(n - 1):
-        dp[1 << j, j] = w[0, j + 1]
+        dp[1 << j][j] = w[0][j + 1]
     for mask in range(1, full):
+        row = dp[mask]
         for j in range(n - 1):
-            if not mask & (1 << j) or np.isinf(dp[mask, j]):
+            base = row[j]
+            if not mask & (1 << j) or base == inf:
                 continue
-            base = dp[mask, j]
+            wrow = w[j + 1]
             for k in range(n - 1):
                 if mask & (1 << k):
                     continue
-                nxt = mask | (1 << k)
-                cand = base + w[j + 1, k + 1]
-                if cand < dp[nxt, k]:
-                    dp[nxt, k] = cand
-    best = np.inf
+                nxt = dp[mask | (1 << k)]
+                cand = base + wrow[k + 1]
+                if cand < nxt[k]:
+                    nxt[k] = cand
+    best = inf
+    last = dp[full - 1]
     for j in range(n - 1):
-        best = min(best, dp[full - 1, j] + w[j + 1, 0])
-    return float(best)
+        cand = last[j] + w[j + 1][0]
+        if cand < best:
+            best = cand
+    return best
 
 
-def mst_weight(w: np.ndarray, nodes: list[int]) -> float:
-    """Prim's MST weight over the induced subgraph."""
-    if len(nodes) <= 1:
-        return 0.0
-    sub = w[np.ix_(nodes, nodes)]
+def mst_weight(w: Any, nodes: list[int]) -> float:
+    """Prim's MST weight over the induced subgraph.
+
+    ``w`` is the full weight matrix, preferably as nested Python lists
+    (``ndarray.tolist()`` once per workload, not per call): this is the
+    branch-and-bound inner loop, and at r <= 16 plain floats beat the
+    numpy masked-argmin formulation ~20x.  The arithmetic — first-min
+    selection, accumulation order, elementwise relaxation — mirrors the
+    vectorised version operation for operation, so every bound (and
+    therefore every pruning decision and the event schedule downstream)
+    is bit-for-bit unchanged.
+    """
     r = len(nodes)
-    in_tree = np.zeros(r, dtype=bool)
-    dist = sub[0].copy()
+    if r <= 1:
+        return 0.0
+    if not isinstance(w, list):
+        w = w.tolist()
+    rows = [w[i] for i in nodes]
+    row0 = rows[0]
+    dist = [row0[i] for i in nodes]
+    in_tree = [False] * r
     in_tree[0] = True
     total = 0.0
+    inf = float("inf")
+    rng = range(r)
     for _ in range(r - 1):
-        dist_masked = np.where(in_tree, np.inf, dist)
-        j = int(np.argmin(dist_masked))
-        total += float(dist_masked[j])
+        best = inf
+        j = -1
+        for k in rng:
+            if not in_tree[k] and dist[k] < best:
+                best = dist[k]
+                j = k
+        total += best
         in_tree[j] = True
-        dist = np.minimum(dist, sub[j])
+        wrow = rows[j]
+        for k in rng:
+            v = wrow[nodes[k]]
+            if v < dist[k]:
+                dist[k] = v
     return total
 
 
@@ -154,16 +192,17 @@ class TspApp:
         ordered so the most promising (smallest lower bound) is popped
         first from the LIFO pool."""
         scored = []
+        wl = self.w.tolist()
         for b in range(1, self.n):
             for c in range(1, self.n):
                 if c == b:
                     continue
-                cost = float(self.w[0, b] + self.w[b, c])
+                cost = wl[0][b] + wl[b][c]
                 visited = 1 | (1 << b) | (1 << c)
                 rest = [0, c] + [
                     x for x in range(1, self.n) if not visited & (1 << x)
                 ]
-                bound = cost + mst_weight(self.w, rest)
+                bound = cost + mst_weight(wl, rest)
                 scored.append(
                     (bound, _pack_entry(cost, 3, visited, bytes([0, b, c])))
                 )
@@ -217,7 +256,9 @@ class TspApp:
     ) -> Generator[Any, Any, None]:
         n = self.n
         w_flat = yield from ctx.mem.fetch_array(w_addr, np.float64, n * n)
-        w = w_flat.reshape(n, n)
+        # Nested lists, converted once: the search loop below is all
+        # scalar indexing, which plain floats do ~20x faster than numpy.
+        w = w_flat.reshape(n, n).tolist()
         while True:
             # --- take a batch of branches from the shared pool ----------
             yield from ctx.lock_acquire(lock_addr)
@@ -250,15 +291,16 @@ class TspApp:
                 if cost >= best_seen:
                     continue  # thrown away, per the paper
                 last = path[depth - 1]
+                wlast = w[last]
                 work_ops = 0
                 work_flops = 0
                 for nxt in range(n):
                     if visited & (1 << nxt):
                         continue
-                    step_cost = cost + float(w[last, nxt])
+                    step_cost = cost + wlast[nxt]
                     new_depth = depth + 1
                     if new_depth == n:
-                        total = step_cost + float(w[nxt, 0])
+                        total = step_cost + w[nxt][0]
                         work_flops += 2
                         if total < best_seen:
                             best_seen = yield from self._offer_best(
@@ -301,15 +343,16 @@ class TspApp:
             raise AssertionError(f"tsp mismatch: {result} vs optimal {expected}")
 
 
+#: cost f64 | depth i64 | visited i64, little-endian — byte-identical to
+#: the numpy tobytes/frombuffer round-trip it replaces.
+_ENTRY_HEAD = struct.Struct("<dqq")
+
+
 def _pack_entry(cost: float, depth: int, visited: int, path: bytes) -> bytes:
-    head = np.array([cost], dtype=np.float64).tobytes()
-    head += np.array([depth, visited], dtype=np.int64).tobytes()
-    return head + path.ljust(MAX_CITIES, b"\x00")
+    return _ENTRY_HEAD.pack(cost, depth, visited) + path.ljust(MAX_CITIES, b"\x00")
 
 
 def _unpack_entry(raw: np.ndarray) -> tuple[float, int, int, list[int]]:
-    buf = bytes(raw)
-    cost = float(np.frombuffer(buf[:8], dtype=np.float64)[0])
-    depth, visited = (int(v) for v in np.frombuffer(buf[8:24], dtype=np.int64))
-    path = list(buf[24 : 24 + depth])
+    cost, depth, visited = _ENTRY_HEAD.unpack_from(raw)
+    path = list(bytes(raw[24 : 24 + depth]))
     return cost, depth, visited, path

@@ -17,10 +17,9 @@ from __future__ import annotations
 import argparse
 
 from repro.api.ivy import Ivy
-from repro.apps.jacobi import JacobiApp
 from repro.config import ClusterConfig
+from repro.exps.parallel import Job, run_jobs
 from repro.metrics.report import ascii_table
-from repro.metrics.speedup import run_app
 from repro.sync.eventcount import EC_RECORD_BYTES
 
 __all__ = ["run", "main", "PAGE_SIZES"]
@@ -55,19 +54,26 @@ def _false_sharing_time(page_size: int, rounds: int) -> int:
     return ivy.time_ns
 
 
-def run(quick: bool = True) -> list[dict]:
+def run(quick: bool = True, workers: int | None = None) -> list[dict]:
     jn, jiters = (128, 6) if quick else (256, 12)
     rounds = 30 if quick else 100
+    # The jacobi runs at each page size are independent simulations —
+    # fan them through the parallel runner (serial on one core).
+    jobs = [
+        Job(
+            "jacobi", {"n": jn, "iters": jiters}, nprocs=4,
+            config=ClusterConfig().with_svm(page_size=page_size), key=page_size,
+        )
+        for page_size in PAGE_SIZES
+    ]
     rows = []
-    for page_size in PAGE_SIZES:
-        config = ClusterConfig().with_svm(page_size=page_size)
-        jr = run_app(lambda p: JacobiApp(p, n=jn, iters=jiters), 4, config=config)
+    for job, jr in zip(jobs, run_jobs(jobs, workers=workers)):
         rows.append(
             {
-                "page_size": page_size,
+                "page_size": job.key,
                 "jacobi_ns": jr.time_ns,
                 "jacobi_faults": jr.counters["read_faults"] + jr.counters["write_faults"],
-                "false_sharing_ns": _false_sharing_time(page_size, rounds),
+                "false_sharing_ns": _false_sharing_time(job.key, rounds),
             }
         )
     return rows
@@ -76,8 +82,9 @@ def run(quick: bool = True) -> list[dict]:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true")
+    parser.add_argument("--workers", type=int, default=None)
     args = parser.parse_args()
-    data = run(quick=not args.full)
+    data = run(quick=not args.full, workers=args.workers)
     rows = [
         [
             d["page_size"],

@@ -11,22 +11,36 @@ from __future__ import annotations
 
 import argparse
 
-from repro.exps.presets import fig5_factories, fig5_procs
+from repro.exps.parallel import Job, run_jobs
+from repro.exps.presets import fig5_factories, fig5_procs, fig5_specs
 from repro.metrics.report import ascii_table, format_speedup_table
-from repro.metrics.speedup import SpeedupResult, measure_speedups, run_app
+from repro.metrics.speedup import SpeedupResult, run_app
 
 __all__ = ["run", "profile", "main"]
 
 
-def run(quick: bool = True, procs: tuple[int, ...] | None = None) -> list[SpeedupResult]:
-    factories = fig5_factories(full=not quick)
+def run(
+    quick: bool = True,
+    procs: tuple[int, ...] | None = None,
+    workers: int | None = None,
+) -> list[SpeedupResult]:
+    """The full sweep is |apps| x |procs| independent simulations, so it
+    goes through the parallel runner: job specs fan out across worker
+    processes (``workers`` > 1) or run serially in-process (the
+    single-core fallback) — the merged curves are identical either way."""
+    specs = fig5_specs(full=not quick)
     procs = procs or fig5_procs(full=not quick)
-    results = []
-    for name, factory in factories.items():
-        result = measure_speedups(factory, procs=procs)
-        result.app_name = name
-        results.append(result)
-    return results
+    jobs = [
+        Job(app, kwargs, nprocs=p, key=name)
+        for name, (app, kwargs) in specs.items()
+        for p in procs
+    ]
+    results = run_jobs(jobs, workers=workers)
+    by_name: dict[str, SpeedupResult] = {}
+    for job, res in zip(jobs, results):
+        curve = by_name.setdefault(job.key, SpeedupResult(app_name=job.key))
+        curve.runs.append(res)
+    return list(by_name.values())
 
 
 def profile(quick: bool = True, nprocs: int = 2) -> list[list[str]]:
@@ -57,8 +71,12 @@ def main() -> None:
         "--profile", action="store_true",
         help="also attribute each app's simulated time (repro.obs profiler)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the sweep (default: REPRO_WORKERS or cpu count)",
+    )
     args = parser.parse_args()
-    results = run(quick=not args.full)
+    results = run(quick=not args.full, workers=args.workers)
     print("Figure 5 — speedups of the benchmark suite")
     print("(every run's numerical output is checked against the sequential golden)")
     print()

@@ -9,15 +9,12 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.apps.dotprod import DotProductApp
-from repro.apps.jacobi import JacobiApp
-from repro.apps.matmul import MatmulApp
 from repro.apps.pde3d import Pde3dApp
 from repro.apps.sort import MergeSplitSortApp
-from repro.apps.tsp import TspApp
 from repro.config import ClusterConfig
 
 __all__ = [
+    "fig5_specs",
     "fig5_factories",
     "fig5_procs",
     "pde_capacity",
@@ -27,26 +24,41 @@ __all__ = [
 
 PAGE_BYTES = 1024
 
+#: Figure 5 workloads as **picklable specs** — ``(registry app name,
+#: constructor kwargs)`` per program, consumable by the parallel runner
+#: (`repro.exps.parallel.Job`).  The factory form below is derived from
+#: these, so the two views cannot drift.
+_FIG5_FULL: dict[str, tuple[str, dict[str, int]]] = {
+    "linear eqn (jacobi)": ("jacobi", {"n": 512, "iters": 24}),
+    "3-D PDE": ("pde3d", {"m": 48, "iters": 20}),
+    "TSP": ("tsp", {"ncities": 13, "seed": 33}),
+    "matrix multiply": ("matmul", {"n": 224}),
+    "dot-product": ("dotprod", {"n": 65536}),
+    "merge-split sort": ("sort", {"nrecords": 8192}),
+}
+_FIG5_QUICK: dict[str, tuple[str, dict[str, int]]] = {
+    "linear eqn (jacobi)": ("jacobi", {"n": 256, "iters": 12}),
+    "3-D PDE": ("pde3d", {"m": 20, "iters": 12}),
+    "TSP": ("tsp", {"ncities": 12, "seed": 33}),
+    "matrix multiply": ("matmul", {"n": 160}),
+    "dot-product": ("dotprod", {"n": 32768}),
+    "merge-split sort": ("sort", {"nrecords": 4096}),
+}
+
+def fig5_specs(full: bool = False) -> dict[str, tuple[str, dict[str, int]]]:
+    """The Figure 5 suite as parallel-runner job specs."""
+    return dict(_FIG5_FULL if full else _FIG5_QUICK)
+
 
 def fig5_factories(full: bool = False) -> dict[str, Callable[[int], object]]:
-    """App factories for the Figure 5 suite."""
-    if full:
-        return {
-            "linear eqn (jacobi)": lambda p: JacobiApp(p, n=512, iters=24),
-            "3-D PDE": lambda p: Pde3dApp(p, m=48, iters=20),
-            "TSP": lambda p: TspApp(p, ncities=13, seed=33),
-            "matrix multiply": lambda p: MatmulApp(p, n=224),
-            "dot-product": lambda p: DotProductApp(p, n=65536),
-            "merge-split sort": lambda p: MergeSplitSortApp(p, nrecords=8192),
-        }
-    return {
-        "linear eqn (jacobi)": lambda p: JacobiApp(p, n=256, iters=12),
-        "3-D PDE": lambda p: Pde3dApp(p, m=20, iters=12),
-        "TSP": lambda p: TspApp(p, ncities=12, seed=33),
-        "matrix multiply": lambda p: MatmulApp(p, n=160),
-        "dot-product": lambda p: DotProductApp(p, n=32768),
-        "merge-split sort": lambda p: MergeSplitSortApp(p, nrecords=4096),
-    }
+    """App factories for the Figure 5 suite (derived from the specs)."""
+    from repro.exps.parallel import APP_REGISTRY
+
+    def make(app: str, kwargs: dict[str, int]) -> Callable[[int], object]:
+        ctor = APP_REGISTRY[app]
+        return lambda p: ctor(p, **kwargs)
+
+    return {name: make(app, kw) for name, (app, kw) in fig5_specs(full).items()}
 
 
 def fig5_procs(full: bool = False) -> tuple[int, ...]:

@@ -6,11 +6,20 @@ is the frame pool backing that cache: bounded capacity, recency
 tracking, and pinning (pages may not be evicted while a coherence
 operation or an atomic synchronisation primitive is mid-flight).
 
+Recency is an ordered dict used as an intrusive LRU list — a touch is an
+O(1) move-to-back, a victim scan walks from the coldest end — replacing
+the unbounded integer-stamp clock whose ``lru_victim`` rescanned every
+frame.  Because the old stamps were unique and monotonic, min-stamp
+order and touch order are the same total order: the victim choice (and
+therefore the event schedule) is bit-for-bit unchanged.
+
 Frames hold real bytes as ``numpy.uint8`` arrays; typed views are taken
 by the shared address space, never copies (guide rule: views not copies).
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 import numpy as np
 
@@ -41,8 +50,9 @@ class PhysicalMemory:
         self._rng = rng
         self._frames: dict[int, np.ndarray] = {}
         self._pins: dict[int, int] = {}
-        self._clock = 0
-        self._last_used: dict[int, int] = {}
+        #: Resident pages in recency order: coldest first, hottest last.
+        #: Invariant: exactly the keys of ``_frames``.
+        self._recency: OrderedDict[int, None] = OrderedDict()
 
     # ------------------------------------------------------------------
 
@@ -59,6 +69,20 @@ class PhysicalMemory:
     def resident_pages(self) -> list[int]:
         return list(self._frames)
 
+    def raw_frames(self) -> dict[int, np.ndarray]:
+        """The live page->frame mapping, for data-plane fast paths.
+
+        Read-only use; every access that would have gone through
+        :meth:`data` must pair the lookup with a :meth:`raw_recency`
+        ``move_to_end`` so the LRU order (and therefore the eviction
+        schedule) stays bit-for-bit what :meth:`data` produces.
+        """
+        return self._frames
+
+    def raw_recency(self) -> OrderedDict[int, None]:
+        """The live recency order backing :meth:`raw_frames` fast paths."""
+        return self._recency
+
     # ------------------------------------------------------------------
 
     def data(self, page: int) -> np.ndarray:
@@ -66,13 +90,15 @@ class PhysicalMemory:
         frame = self._frames.get(page)
         if frame is None:
             raise KeyError(f"page {page} not resident")
-        self.touch(page)
+        self._recency.move_to_end(page)
         return frame
 
     def touch(self, page: int) -> None:
-        """Record a reference for LRU purposes."""
-        self._clock += 1
-        self._last_used[page] = self._clock
+        """Record a reference for LRU purposes (resident pages only —
+        touching a non-resident page would resurrect a stale recency
+        entry that later corrupts the victim order)."""
+        assert page in self._frames, f"touch of non-resident page {page}"
+        self._recency.move_to_end(page)
 
     def install(self, page: int, data: np.ndarray | None = None) -> np.ndarray:
         """Place ``page`` into a frame (caller must have ensured room).
@@ -80,11 +106,17 @@ class PhysicalMemory:
         ``data`` is copied into the frame; None zero-fills.  Returns the
         frame array.
         """
-        if self.full and page not in self._frames:
-            raise FramePressure(f"no free frame for page {page}")
         frame = self._frames.get(page)
         if frame is None:
-            frame = np.zeros(self.page_size, dtype=np.uint8)
+            if self.full:
+                raise FramePressure(f"no free frame for page {page}")
+            # Zero-fill only when no contents follow — the copy below
+            # overwrites every byte anyway.
+            frame = (
+                np.zeros(self.page_size, dtype=np.uint8)
+                if data is None
+                else np.empty(self.page_size, dtype=np.uint8)
+            )
             self._frames[page] = frame
         if data is not None:
             if len(data) != self.page_size:
@@ -92,7 +124,8 @@ class PhysicalMemory:
                     f"page data is {len(data)} bytes, expected {self.page_size}"
                 )
             frame[:] = data
-        self.touch(page)
+        self._recency[page] = None
+        self._recency.move_to_end(page)
         return frame
 
     def drop(self, page: int) -> None:
@@ -100,7 +133,10 @@ class PhysicalMemory:
         if self._pins.get(page, 0):
             raise RuntimeError(f"dropping pinned page {page}")
         self._frames.pop(page, None)
-        self._last_used.pop(page, None)
+        self._recency.pop(page, None)
+        # A dropped page must leave no recency residue: a stale entry
+        # would make a later reinstall inherit the old position.
+        assert page not in self._recency and page not in self._frames
 
     # ------------------------------------------------------------------
     # pinning
@@ -139,17 +175,11 @@ class PhysicalMemory:
                 raise FramePressure("all resident pages are pinned")
             candidates.sort()  # determinism: dict order is insertion order
             return int(candidates[self._rng.integers(len(candidates))])
-        best_page = -1
-        best_stamp = None
-        for page in self._frames:
-            if self._pins.get(page, 0):
+        pins = self._pins
+        for page in self._recency:  # coldest first
+            if pins.get(page, 0):
                 continue
             if skip is not None and page in skip:
                 continue
-            stamp = self._last_used.get(page, 0)
-            if best_stamp is None or stamp < best_stamp:
-                best_stamp = stamp
-                best_page = page
-        if best_stamp is None:
-            raise FramePressure("all resident pages are pinned")
-        return best_page
+            return page
+        raise FramePressure("all resident pages are pinned")

@@ -101,12 +101,35 @@ class AddressLayout:
 
         Yields ``(page, offset_in_page, offset_in_buffer, length)``.
         """
+        return iter(self.spans_list(addr, nbytes))
+
+    def spans_list(self, addr: int, nbytes: int) -> list[tuple[int, int, int, int]]:
+        """:meth:`spans`, materialised — the data-plane fast path checks
+        protections over all pieces before copying any, so it needs the
+        list twice."""
         self.check(addr, nbytes)
+        out = []
+        rel = addr - self.base
+        shift = self._shift
+        mask = self.page_size - 1
+        page_size = self.page_size
         done = 0
         while done < nbytes:
-            cur = addr + done
-            page = (cur - self.base) >> self._shift
-            offset = (cur - self.base) & (self.page_size - 1)
-            length = min(self.page_size - offset, nbytes - done)
-            yield page, offset, done, length
+            cur = rel + done
+            offset = cur & mask
+            length = page_size - offset
+            if length > nbytes - done:
+                length = nbytes - done
+            out.append((cur >> shift, offset, done, length))
             done += length
+        return out
+
+    def single_span(self, addr: int, nbytes: int) -> tuple[int, int] | None:
+        """``(page, offset_in_page)`` when the range lies inside one page
+        of the shared space, else None (caller falls back to the general
+        span walk, which also produces the out-of-range diagnostics)."""
+        rel = addr - self.base
+        offset = rel & (self.page_size - 1)
+        if 0 <= rel and offset + nbytes <= self.page_size and rel + nbytes <= self.size:
+            return rel >> self._shift, offset
+        return None

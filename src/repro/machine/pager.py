@@ -102,12 +102,30 @@ class Pager:
                 )
         return
 
+    def try_install(self, page: int, data: np.ndarray | None = None) -> np.ndarray | None:
+        """Plain-function :meth:`install` for the no-eviction case.
+
+        Returns the frame when room exists (or the page is already
+        resident), ``None`` when eviction work is required — the caller
+        then falls back to the generator.  Splitting the fast path out
+        skips the generator machinery on every pressure-free install.
+        """
+        memory = self.memory
+        if memory.full and page not in memory:
+            return None
+        frame = memory.install(page, data)
+        if self.obs:
+            self.obs.gauge("frames.resident", len(memory))
+        return frame
+
     def install(
         self, page: int, data: np.ndarray | None = None
     ) -> Generator[Effect, Any, np.ndarray]:
         """Evict as needed, then place ``page`` (optionally with bytes)."""
-        yield from self.ensure_frame(page)
-        frame = self.memory.install(page, data)
+        memory = self.memory
+        if memory.full and page not in memory:
+            yield from self.ensure_frame(page)
+        frame = memory.install(page, data)
         if self.obs:
             self.obs.gauge("frames.resident", len(self.memory))
         return frame

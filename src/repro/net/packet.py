@@ -9,7 +9,6 @@ below compute them for the common cases.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 __all__ = [
@@ -32,36 +31,63 @@ HEADER_BYTES = 32
 _serial = itertools.count(1)
 
 
-@dataclass
 class Message:
-    """One transport-level message (request, reply, or broadcast)."""
+    """One transport-level message (request, reply, or broadcast).
 
-    src: int
-    dst: int
-    kind: str  # "req" | "rep" | "bcast"
-    op: str
-    origin: int  # requesting processor (survives forwarding)
-    msg_id: int  # origin's sequence number (dedup key with origin)
-    payload: Any
-    nbytes: int
-    #: Piggybacked scheduling hint: sender's current process count
-    #: ("a byte ... packed into every message at almost no extra cost").
-    load_hint: int = 0
-    #: Reply scheme for broadcasts: "any" | "all" | "none".
-    reply_scheme: str = "all"
-    #: Multicast filter: when set on a broadcast frame, only these
-    #: stations process the message (others hear it and discard it,
-    #: as ring hardware multicast filtering does).
-    targets: tuple[int, ...] | None = None
-    #: Causal span id riding the wire (0 = untraced).  Replies and
-    #: forwards inherit it, so a fault's span tree follows the request
-    #: across nodes.  Pure observability: never read by protocol code.
-    span: int = 0
-    serial: int = field(default_factory=lambda: next(_serial))
+    A plain ``__slots__`` class rather than a dataclass: one is built per
+    request, reply, forward, and retransmission, so construction is on
+    the fault hot path.
 
-    def __post_init__(self) -> None:
-        if self.nbytes < HEADER_BYTES:
-            self.nbytes = HEADER_BYTES
+    Fields: ``src``/``dst`` stations; ``kind`` ("req" | "rep" | "bcast");
+    ``op``; ``origin`` (requesting processor — survives forwarding);
+    ``msg_id`` (origin's sequence number; dedup key with origin);
+    ``payload``; ``nbytes`` (simulated wire size, floored at
+    :data:`HEADER_BYTES`); ``load_hint`` (piggybacked process count — "a
+    byte ... packed into every message at almost no extra cost");
+    ``reply_scheme`` for broadcasts ("any" | "all" | "none");
+    ``targets`` (multicast filter: when set on a broadcast frame only
+    these stations process it, as ring hardware multicast filtering
+    does); ``span`` (causal span id riding the wire, 0 = untraced —
+    pure observability, never read by protocol code); ``serial``
+    (global construction order, debug aid).
+    """
+
+    __slots__ = (
+        "src", "dst", "kind", "op", "origin", "msg_id", "payload",
+        "nbytes", "load_hint", "reply_scheme", "targets", "span", "serial",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        kind: str,
+        op: str,
+        origin: int,
+        msg_id: int,
+        payload: Any,
+        nbytes: int,
+        load_hint: int = 0,
+        reply_scheme: str = "all",
+        targets: tuple[int, ...] | None = None,
+        span: int = 0,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.op = op
+        self.origin = origin
+        self.msg_id = msg_id
+        self.payload = payload
+        self.nbytes = nbytes if nbytes >= HEADER_BYTES else HEADER_BYTES
+        self.load_hint = load_hint
+        self.reply_scheme = reply_scheme
+        self.targets = targets
+        self.span = span
+        self.serial = next(_serial)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Message {self.describe()}>"
 
     def describe(self) -> str:  # pragma: no cover - debug aid
         return (

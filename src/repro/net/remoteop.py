@@ -117,14 +117,20 @@ class RemoteOp:
         """Perform a remote operation and return its reply value."""
         if self.trace:
             self.trace.emit("remoteop.request", src=self.node_id, dst=dst, op=op)
-        hop = self.obs.span_begin(f"rpc:{op}", parent=span, node=self.node_id, dst=dst)
+        obs = self.obs
+        if not obs:
+            # Span bookkeeping (and its f-string name) is skipped entirely
+            # when observability is off — this runs once per fault.
+            value = yield from self.transport.request(dst, op, payload, nbytes)
+            return value
+        hop = obs.span_begin(f"rpc:{op}", parent=span, node=self.node_id, dst=dst)
         try:
             value = yield from self.transport.request(
                 dst, op, payload, nbytes, span_id=hop.sid
             )
             return value
         finally:
-            self.obs.span_end(hop)
+            obs.span_end(hop)
 
     def broadcast(
         self,
@@ -139,7 +145,11 @@ class RemoteOp:
             self.trace.emit(
                 "remoteop.broadcast", src=self.node_id, op=op, scheme=scheme
             )
-        hop = self.obs.span_begin(
+        obs = self.obs
+        if not obs:
+            value = yield from self.transport.broadcast(op, payload, nbytes, scheme)
+            return value
+        hop = obs.span_begin(
             f"rpc:{op}", parent=span, node=self.node_id, scheme=scheme
         )
         try:
@@ -148,7 +158,7 @@ class RemoteOp:
             )
             return value
         finally:
-            self.obs.span_end(hop)
+            obs.span_end(hop)
 
     def multicast(
         self,
@@ -163,7 +173,11 @@ class RemoteOp:
             self.trace.emit(
                 "remoteop.multicast", src=self.node_id, op=op, targets=tuple(targets)
             )
-        hop = self.obs.span_begin(
+        obs = self.obs
+        if not obs:
+            value = yield from self.transport.multicast(targets, op, payload, nbytes)
+            return value
+        hop = obs.span_begin(
             f"rpc:{op}", parent=span, node=self.node_id, fanout=len(targets)
         )
         try:
@@ -172,22 +186,32 @@ class RemoteOp:
             )
             return value
         finally:
-            self.obs.span_end(hop)
+            obs.span_end(hop)
 
     # ------------------------------------------------------------------
 
     def _dispatch(self, msg: Message) -> None:
-        self.driver.spawn(
-            self._serve(msg), f"serve-{self.node_id}-{msg.op}-{msg.origin}.{msg.msg_id}"
-        )
+        if self.driver.sim.scheduler is not None or self.trace:
+            # Full identity only when someone reads it (explorer labels,
+            # trace records); the f-string is measurable per request.
+            name = f"serve-{self.node_id}-{msg.op}-{msg.origin}.{msg.msg_id}"
+        else:
+            name = msg.op
+        self.driver.spawn(self._serve(msg), name)
 
     def _serve(self, msg: Message) -> Generator[Effect, Any, None]:
         handler = self._handlers.get(msg.op)
         if handler is None:
             raise RuntimeError(f"node {self.node_id}: no handler for {msg.op!r}")
-        span = self.obs.span_begin(
-            f"serve:{msg.op}", parent=msg.span, node=self.node_id, origin=msg.origin
-        )
+        obs = self.obs
+        if obs:
+            span = obs.span_begin(
+                f"serve:{msg.op}", parent=msg.span, node=self.node_id, origin=msg.origin
+            )
+            span_sid = span.sid
+        else:
+            span = None
+            span_sid = 0
         try:
             yield Compute(self.config.server_dispatch_cost)
             result = yield from handler(msg.origin, msg.payload)
@@ -198,7 +222,7 @@ class RemoteOp:
                         origin=msg.origin,
                     )
                 yield from self.transport.forward(
-                    result.dst, msg, result.payload, result.nbytes, span_id=span.sid
+                    result.dst, msg, result.payload, result.nbytes, span_id=span_sid
                 )
             elif result is NO_REPLY:
                 if msg.kind != "bcast":
@@ -216,4 +240,5 @@ class RemoteOp:
             else:
                 yield from self.transport.send_reply(msg, result)
         finally:
-            self.obs.span_end(span)
+            if span is not None:
+                obs.span_end(span)

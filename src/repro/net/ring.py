@@ -65,6 +65,12 @@ class TokenRing:
         self.rng = rng
         self.trace = trace
         self.obs = obs
+        #: ``enabled`` is fixed at construction; caching the truth value
+        #: saves a __bool__ dispatch on every send.
+        self._obs_on = bool(obs)
+        #: Loss is configured once; a lossless ring skips the per-target
+        #: random draw entirely.
+        self._lossy = config.loss_rate > 0.0 and rng is not None
         self.stats = RingStats()
         self._receivers: dict[int, Callable[[Message], None]] = {}
         self._free_at = 0  # medium is idle from this time onward
@@ -105,39 +111,50 @@ class TokenRing:
         if msg.dst == msg.src:
             raise ValueError("a station does not ring-transmit to itself")
         now = self.sim.now
-        start = max(now, self._free_at)
-        if self.obs:
+        free_at = self._free_at
+        start = now if now >= free_at else free_at
+        if self._obs_on:
             # Queueing delay behind the shared medium — the contention
             # that caps dot-product's speedup (histogrammed in ns).
             self.obs.observe("ring.queue_ns", start - now)
         occupancy = self.occupancy_ns(msg.nbytes)
-        self._free_at = start + occupancy
-        arrival = self._free_at + self.config.delivery_latency
+        self._free_at = free_at = start + occupancy
+        arrival = free_at + self.config.delivery_latency
 
-        self.stats.messages += 1
-        self.stats.bytes_sent += msg.nbytes
-        self.stats.busy_ns += occupancy
+        stats = self.stats
+        stats.messages += 1
+        stats.bytes_sent += msg.nbytes
+        stats.busy_ns += occupancy
         if msg.dst == BROADCAST:
-            self.stats.broadcasts += 1
+            stats.broadcasts += 1
             targets = [n for n in range(self.nnodes) if n != msg.src]
         else:
-            targets = [msg.dst]
+            targets = (msg.dst,)
         if self.trace:
             self.trace.emit(
                 "ring.send", src=msg.src, dst=msg.dst, op=msg.op,
                 kind=msg.kind, nbytes=msg.nbytes, arrival=arrival,
             )
+        sim = self.sim
+        controlled = sim.scheduler is not None
+        drop_policy = self.drop_policy
         for target in targets:
-            forced = self.drop_policy is not None and self.drop_policy(msg, target)
-            if forced or self._drop():
+            forced = drop_policy is not None and drop_policy(msg, target)
+            if forced or (self._lossy and self._drop()):
                 self.stats.lost_frames += 1
                 if self.trace:
                     self.trace.emit("ring.drop", src=msg.src, dst=target, op=msg.op)
                 continue
-            self.sim.schedule_at(
-                arrival, self._deliver, target, msg,
-                label=delivery_label(target, msg),
-            )
+            if controlled:
+                # Labels matter only to an installed Scheduler; building
+                # one per delivery is measurable on the hot path, so skip
+                # it on uncontrolled runs.
+                sim.schedule_at_nocancel(
+                    arrival, self._deliver, target, msg,
+                    label=delivery_label(target, msg),
+                )
+            else:
+                sim.schedule_at_nocancel(arrival, self._deliver, target, msg)
 
     def _drop(self) -> bool:
         loss = self.config.loss_rate

@@ -152,9 +152,8 @@ class Transport:
         """
         self._next_id += 1
         msg = Message(
-            src=self.node_id, dst=dst, kind="req", op=op,
-            origin=self.node_id, msg_id=self._next_id,
-            payload=payload, nbytes=nbytes, span=span_id,
+            self.node_id, dst, "req", op, self.node_id, self._next_id,
+            payload, nbytes, span=span_id,
         )
         pending = _Pending(msg, want=1)
         self._pending[msg.msg_id] = pending
@@ -187,10 +186,8 @@ class Transport:
             raise ValueError(f"unknown reply scheme {scheme!r}")
         self._next_id += 1
         msg = Message(
-            src=self.node_id, dst=BROADCAST, kind="bcast", op=op,
-            origin=self.node_id, msg_id=self._next_id,
-            payload=payload, nbytes=nbytes, reply_scheme=scheme,
-            span=span_id,
+            self.node_id, BROADCAST, "bcast", op, self.node_id, self._next_id,
+            payload, nbytes, reply_scheme=scheme, span=span_id,
         )
         self.stats.broadcasts_sent += 1
         yield Compute(self.config.transport_cpu)
@@ -229,10 +226,8 @@ class Transport:
             return {}
         self._next_id += 1
         msg = Message(
-            src=self.node_id, dst=BROADCAST, kind="bcast", op=op,
-            origin=self.node_id, msg_id=self._next_id,
-            payload=payload, nbytes=nbytes, reply_scheme="all",
-            targets=targets, span=span_id,
+            self.node_id, BROADCAST, "bcast", op, self.node_id, self._next_id,
+            payload, nbytes, reply_scheme="all", targets=targets, span=span_id,
         )
         pending = _Pending(msg, want=len(targets))
         self._pending[msg.msg_id] = pending
@@ -257,9 +252,8 @@ class Transport:
         yield Compute(self.config.transport_cpu)
         self._transmit(
             Message(
-                src=self.node_id, dst=msg.origin, kind="rep", op=msg.op,
-                origin=msg.origin, msg_id=msg.msg_id,
-                payload=value, nbytes=nbytes, span=msg.span,
+                self.node_id, msg.origin, "rep", msg.op, msg.origin,
+                msg.msg_id, value, nbytes, span=msg.span,
             )
         )
 
@@ -283,10 +277,9 @@ class Transport:
         """
         self.stats.forwards_sent += 1
         forwarded = Message(
-            src=self.node_id, dst=dst, kind="req", op=msg.op,
-            origin=msg.origin, msg_id=msg.msg_id,
-            payload=msg.payload if payload is None else payload,
-            nbytes=msg.nbytes if nbytes is None else nbytes,
+            self.node_id, dst, "req", msg.op, msg.origin, msg.msg_id,
+            msg.payload if payload is None else payload,
+            msg.nbytes if nbytes is None else nbytes,
             span=msg.span if span_id is None else span_id,
         )
         self._reply_cache[(msg.origin, msg.msg_id)] = ("forwarded", forwarded)
@@ -316,10 +309,13 @@ class Transport:
     def _transmit(self, msg: Message) -> None:
         msg.load_hint = self.load_provider()
         if msg.dst == self.node_id:
-            self.sim.schedule(
-                LOCAL_DELIVERY_NS, self._on_message, msg,
-                label=delivery_label(self.node_id, msg),
-            )
+            if self.sim.scheduler is not None:
+                self.sim.schedule_nocancel(
+                    LOCAL_DELIVERY_NS, self._on_message, msg,
+                    label=delivery_label(self.node_id, msg),
+                )
+            else:
+                self.sim.schedule_nocancel(LOCAL_DELIVERY_NS, self._on_message, msg)
         else:
             self.ring.send(msg)
 
@@ -328,6 +324,13 @@ class Transport:
         # retransmission against same-tick deliveries: a retransmitted
         # request racing its own original (or a stale reply) is exactly
         # the reordering the delay-injection strategy exists to exercise.
+        if self.sim.scheduler is None:
+            # The label is never read without a scheduler installed;
+            # op_page + the f-string are pure overhead per request.
+            pending.timer = self.sim.schedule(
+                self.config.retransmit_timeout, self._retransmit, pending
+            )
+            return
         msg = pending.msg
         page = op_page(msg.op, msg.payload)
         ptag = "p?" if page is None else f"p{page}"
@@ -398,10 +401,17 @@ class Transport:
             self.stats.duplicates_dropped += 1
             return
         if cached[0] == "forwarded":
-            if self.duplicate_probe(msg):
-                # This node can serve the request itself now (e.g. it has
-                # become the page's owner since it forwarded): drop the
-                # stale route and execute.
+            if cached[1].dst == msg.src or self.duplicate_probe(msg):
+                # Drop the stale route and re-run the handler, in two cases.
+                # Cycle: the very node we recorded as the next hop has sent
+                # the request back at us — both ends hold stale routes (the
+                # owner moved away from the pair entirely), and bouncing the
+                # cached forwards would ping-pong forever while the origin's
+                # retransmissions burn out.  Re-routing with *current* state
+                # converges because ownership updates (chown, manager table
+                # writes) progress independently of this request.
+                # Probe: this node can serve the request itself now (e.g. it
+                # has become the page's owner since it forwarded).
                 del self._reply_cache[key]
                 self._on_request(msg)
                 return

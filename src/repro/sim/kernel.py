@@ -5,6 +5,23 @@ The simulator is a classic calendar loop: a binary heap of
 counter so that events scheduled at the same tick fire in scheduling
 order — this is what makes every run bit-for-bit reproducible.
 
+Two wall-clock fast paths ride on that invariant without changing it:
+
+* **Same-tick FIFO lane.**  A ``schedule(0, ...)`` call made while no
+  :class:`Scheduler` is installed lands in a deque instead of the heap.
+  Because ``seq`` is globally monotonic, everything already queued for
+  the current tick has a *smaller* seq than a freshly scheduled delay-0
+  event, so draining the deque in FIFO order — merged against the heap
+  front by ``(time, seq)`` — fires events in exactly the order the
+  heap-only loop would.  The deque is always empty by the time the
+  clock advances, and :meth:`_run_controlled` flushes it back into the
+  heap so the schedule explorer sees one uniform queue.
+* **``schedule_nocancel``.**  Most events are never cancelled; the
+  nocancel variants skip the per-event :class:`CancelHandle` allocation
+  by sharing one immortal handle.  (Slotted event records were measured
+  *slower* than plain tuples under ``heapq`` — tuple comparison is C,
+  ``__lt__`` dispatch is not — so heap entries stay 6-tuples.)
+
 Same-tick ordering is also the *only* nondeterminism a distributed
 schedule has in this model, which makes it a controlled choice point:
 installing a :class:`Scheduler` on :attr:`Simulator.scheduler` lets a
@@ -22,6 +39,7 @@ shrinkable failures instead of hangs.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Iterable, Sequence
 
 __all__ = ["Simulator", "DeadlockError", "CancelHandle", "PendingEvent", "Scheduler"]
@@ -47,6 +65,11 @@ class CancelHandle:
 
     def cancel(self) -> None:
         self.cancelled = True
+
+
+#: Shared handle for events nobody can cancel (``schedule_nocancel``).
+#: One allocation for the lifetime of the process instead of one per event.
+_NEVER_CANCELLED = CancelHandle()
 
 
 class PendingEvent:
@@ -94,6 +117,12 @@ class Simulator:
         self._heap: list[
             tuple[int, int, CancelHandle, Callable[..., None], tuple[Any, ...], str | None]
         ] = []
+        #: Delay-0 events scheduled while no Scheduler is installed; always
+        #: drained before the clock advances (see module docstring).  Same
+        #: 6-tuple layout as the heap so entries can be folded back in.
+        self._fifo: deque[
+            tuple[int, int, CancelHandle, Callable[..., None], tuple[Any, ...], str | None]
+        ] = deque()
         self._seq: int = 0
         #: Number of events executed so far (profiling / regression metric).
         self.events_executed: int = 0
@@ -128,18 +157,46 @@ class Simulator:
         ``label`` annotates the event for a :class:`Scheduler` (unused —
         and free — when no scheduler is installed).
         """
-        if delay < 0:
-            raise ValueError(f"negative delay {delay}")
         handle = CancelHandle()
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, handle, fn, args, label))
+        if delay == 0 and self.scheduler is None:
+            self._fifo.append((self.now, self._seq, handle, fn, args, label))
+        elif delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        else:
+            heapq.heappush(self._heap, (self.now + delay, self._seq, handle, fn, args, label))
         return handle
+
+    def schedule_nocancel(
+        self, delay: int, fn: Callable[..., None], *args: Any, label: str | None = None
+    ) -> None:
+        """:meth:`schedule` without the per-event handle allocation.
+
+        For the ~90% of events nobody ever cancels (deliveries, wakeups,
+        dispatches).  Fires in exactly the position :meth:`schedule`
+        would have used — same seq, same ordering — but returns nothing.
+        """
+        self._seq += 1
+        if delay == 0 and self.scheduler is None:
+            self._fifo.append((self.now, self._seq, _NEVER_CANCELLED, fn, args, label))
+        elif delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        else:
+            heapq.heappush(
+                self._heap, (self.now + delay, self._seq, _NEVER_CANCELLED, fn, args, label)
+            )
 
     def schedule_at(
         self, when: int, fn: Callable[..., None], *args: Any, label: str | None = None
     ) -> CancelHandle:
         """Schedule ``fn(*args)`` at absolute time ``when`` (>= now)."""
         return self.schedule(when - self.now, fn, *args, label=label)
+
+    def schedule_at_nocancel(
+        self, when: int, fn: Callable[..., None], *args: Any, label: str | None = None
+    ) -> None:
+        """:meth:`schedule_at` without the per-event handle allocation."""
+        self.schedule_nocancel(when - self.now, fn, *args, label=label)
 
     # ------------------------------------------------------------------
     # deadlock bookkeeping
@@ -169,26 +226,53 @@ class Simulator:
         if self.scheduler is not None:
             return self._run_controlled(self.scheduler, until, max_events)
         heap = self._heap
-        budget = max_events
-        while heap:
+        fifo = self._fifo
+        heappop = heapq.heappop
+        budget = max_events if max_events is not None else -1
+        while True:
             if self._failure is not None:
                 exc, self._failure = self._failure, None
                 raise exc
-            when, _seq, handle, fn, args, label = heapq.heappop(heap)
-            if handle.cancelled:
-                continue
+            # Skip cancelled tombstones at both queue fronts before peeking.
+            while heap and heap[0][2].cancelled:
+                heappop(heap)
+            while fifo and fifo[0][2].cancelled:
+                fifo.popleft()
+            # Pick the next live event by (time, seq) across both lanes.
+            # FIFO entries are all at the current tick; a heap entry beats
+            # them only if it is also at the current tick with a lower seq.
+            if fifo:
+                if heap and heap[0][0] == self.now and heap[0][1] < fifo[0][1]:
+                    use_fifo = False
+                    when = heap[0][0]
+                else:
+                    use_fifo = True
+                    when = self.now
+            elif heap:
+                use_fifo = False
+                when = heap[0][0]
+            else:
+                break
             if until is not None and when > until:
-                # Put it back; we stop the clock at `until`.
-                self._seq += 1
-                heapq.heappush(heap, (when, _seq, handle, fn, args, label))
+                # Stop the clock at `until`; pending events stay queued.
+                # Fold the FIFO lane into the heap: entries carry their
+                # true (time, seq), and `now` is about to move away from
+                # the tick the lane's fast merge assumes.
+                while fifo:
+                    heapq.heappush(heap, fifo.popleft())
                 self.now = until
-                return self.now
-            self.now = when
+                return until
+            if use_fifo:
+                _when, _seq, _handle, fn, args, _label = fifo.popleft()
+                self.now = when
+            else:
+                when, _seq, _handle, fn, args, _label = heappop(heap)
+                self.now = when
             self.events_executed += 1
             fn(*args)
-            if budget is not None:
+            if budget > 0:
                 budget -= 1
-                if budget <= 0:
+                if budget == 0:
                     return self.now
         if self._failure is not None:
             exc, self._failure = self._failure, None
@@ -211,6 +295,13 @@ class Simulator:
         chosen event that cancels a sibling prevents it from running).
         """
         heap = self._heap
+        # Events scheduled before the scheduler was installed may sit in
+        # the delay-0 FIFO lane; fold them into the heap (original seqs)
+        # so the explorer sees one uniform queue.  While a scheduler is
+        # installed, `schedule` never adds to the FIFO.
+        fifo = self._fifo
+        while fifo:
+            heapq.heappush(heap, fifo.popleft())
         budget = max_events
         while heap:
             if self._failure is not None:
@@ -259,4 +350,4 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of events still queued (including cancelled tombstones)."""
-        return len(self._heap)
+        return len(self._heap) + len(self._fifo)

@@ -147,6 +147,10 @@ class Task:
         self.driver = driver
         self.name = name or f"task-{self.tid}"
         self.state = TaskState.READY
+        #: True once the task finished or failed.  A plain attribute
+        #: (kept in sync by _finish/_fail) rather than a property derived
+        #: from ``state``: it is checked on every step and wake.
+        self.done = False
         self.result: Any = None
         self.error: BaseException | None = None
         self._joiners: list[Callable[["Task"], None]] = []
@@ -156,10 +160,6 @@ class Task:
     @property
     def is_blocked(self) -> bool:
         return self.state is TaskState.BLOCKED
-
-    @property
-    def done(self) -> bool:
-        return self.state in (TaskState.DONE, TaskState.FAILED)
 
     def __repr__(self) -> str:
         return f"<Task {self.name} {self.state.value}>"
@@ -214,6 +214,7 @@ class Task:
 
     def _finish(self, result: Any) -> None:
         self.state = TaskState.DONE
+        self.done = True
         self.result = result
         self.driver.finished(self)
         joiners, self._joiners = self._joiners, []
@@ -222,6 +223,7 @@ class Task:
 
     def _fail(self, exc: BaseException) -> None:
         self.state = TaskState.FAILED
+        self.done = True
         self.error = exc
         failure = TaskFailure(f"task {self.name} failed: {exc!r}")
         failure.__cause__ = exc
@@ -252,21 +254,36 @@ class SimDriver(Driver):
     def spawn(self, gen: Generator[Effect, Any, Any], name: str = "") -> Task:
         """Create a task and schedule its first step at the current time."""
         task = Task(gen, self, name)
-        self.sim.watch(task)
-        self.sim.schedule(0, task.step, None, label=f"task:{task.name}")
+        sim = self.sim
+        sim.watch(task)
+        if sim.scheduler is not None:
+            sim.schedule_nocancel(0, task.step, None, label=f"task:{task.name}")
+        else:
+            # Labels are read only by an installed Scheduler; skip the
+            # per-event f-string on uncontrolled runs (likewise below).
+            sim.schedule_nocancel(0, task.step, None)
         return task
 
     def handle(self, task: Task, effect: Effect) -> None:
+        sim = self.sim
         if isinstance(effect, (Compute, Sleep)):
             task.state = TaskState.BLOCKED
-            self.sim.schedule(effect.ns, self._resume, task, None, label=f"task:{task.name}")
+            if sim.scheduler is not None:
+                sim.schedule_nocancel(
+                    effect.ns, self._resume, task, None, label=f"task:{task.name}"
+                )
+            else:
+                sim.schedule_nocancel(effect.ns, self._resume, task, None)
         elif isinstance(effect, Suspend):
             task.state = TaskState.BLOCKED
             if effect.register is not None:
                 effect.register(task)
         elif isinstance(effect, YieldCpu):
             task.state = TaskState.READY
-            self.sim.schedule(0, self._resume, task, None, label=f"task:{task.name}")
+            if sim.scheduler is not None:
+                sim.schedule_nocancel(0, self._resume, task, None, label=f"task:{task.name}")
+            else:
+                sim.schedule_nocancel(0, self._resume, task, None)
         else:  # pragma: no cover - Effect subclasses are closed
             raise TypeError(f"unknown effect {effect!r}")
 
@@ -274,7 +291,11 @@ class SimDriver(Driver):
         if task.done:
             return
         task.state = TaskState.READY
-        self.sim.schedule(0, self._resume, task, value, label=f"wake:{task.name}")
+        sim = self.sim
+        if sim.scheduler is not None:
+            sim.schedule_nocancel(0, self._resume, task, value, label=f"wake:{task.name}")
+        else:
+            sim.schedule_nocancel(0, self._resume, task, value)
 
     def _resume(self, task: Task, value: Any) -> None:
         if not task.done:

@@ -16,6 +16,16 @@ charges ``ns_per_byte_copy`` per byte (the memcpy the program would
 execute).  Arithmetic is charged separately by applications as flops,
 so there is no double counting.
 
+Every accessor has a *no-fault fast path*: when each spanned page
+already holds sufficient access, the operation copies straight against
+the frames and yields its single cost effect without entering the
+per-span fault machinery.  The fast path is schedule-preserving by
+construction — ``has_access`` is pure, the per-page ``data()`` touches
+happen in the same span order, and exactly the same one ``Compute`` is
+yielded — it only removes Python interpreter work, never a simulated
+event.  Scalar reads/writes additionally skip the array round-trip with
+a fixed-width struct view of the frame.
+
 All generators here must be driven with ``yield from`` inside a
 simulated process.  Scalar helpers exist for the common cases; prefer
 the array forms — block-granular access is both how real programs touch
@@ -24,17 +34,29 @@ memory and what keeps the simulation fast (guide rule: vectorise).
 
 from __future__ import annotations
 
+import struct
 from typing import Any, Callable, Generator
 
 import numpy as np
 
 from repro.config import CpuConfig
-from repro.machine.mmu import AddressLayout
+from repro.machine.mmu import Access, AddressLayout
 from repro.metrics.collect import Counters
 from repro.sim.process import Compute, Effect
 from repro.svm.protocol import CoherenceProtocol
 
 __all__ = ["SharedAddressSpace"]
+
+#: Hoisted Access levels for the inline fast-path probes (see
+#: CoherenceProtocol.has_access, whose logic these probes flatten).
+_READ = Access.READ
+_WRITE = Access.WRITE
+
+# Fixed-width codecs for the scalar fast paths.  Little-endian matches
+# numpy's native layout on every platform this simulator targets, so the
+# bytes written are identical to the ndarray round-trip they replace.
+_F64 = struct.Struct("<d")
+_I64 = struct.Struct("<q")
 
 
 class SharedAddressSpace:
@@ -52,19 +74,42 @@ class SharedAddressSpace:
         self.cpu = cpu
         self.counters = counters
         self._memory = protocol.memory
+        # Data-plane fast-path bindings.  Both mappings are live views
+        # that are never rebound; a probe miss (no entry / insufficient
+        # access / frame not resident) falls back to the faulting path,
+        # which goes through the real accessors.  Direct frame reads
+        # pair with a recency move_to_end, preserving the exact LRU
+        # order (and hence the eviction schedule) of PhysicalMemory.data.
+        self._entries_get = protocol.table.raw_entries().get
+        self._frames_map = protocol.memory.raw_frames()
+        self._recency_move = protocol.memory.raw_recency().move_to_end
 
     # ------------------------------------------------------------------
     # byte-granular primitives
 
     def read_bytes(self, addr: int, nbytes: int) -> Generator[Effect, Any, np.ndarray]:
         """Read ``nbytes`` starting at ``addr``; returns a uint8 array."""
+        spans = self.layout.spans_list(addr, nbytes)
         out = np.empty(nbytes, dtype=np.uint8)
-        protocol = self.protocol
-        for page, off, boff, length in self.layout.spans(addr, nbytes):
-            if not protocol.has_access(page, write=False):
-                yield from protocol.ensure_read(page)
-            frame = self._memory.data(page)
-            out[boff : boff + length] = frame[off : off + length]
+        entries_get = self._entries_get
+        frames = self._frames_map
+        for span in spans:
+            e = entries_get(span[0])
+            if e is None or e.access < _READ or span[0] not in frames:
+                # Slow path: at least one page needs the fault handler.
+                protocol = self.protocol
+                has_access = protocol.has_access
+                data = self._memory.data
+                for page, off, boff, length in spans:
+                    if not has_access(page, False):
+                        yield from protocol.ensure_read(page)
+                    out[boff : boff + length] = data(page)[off : off + length]
+                break
+        else:
+            move = self._recency_move
+            for page, off, boff, length in spans:
+                move(page)
+                out[boff : boff + length] = frames[page][off : off + length]
         self.counters.inc("shared_bytes_read", nbytes)
         yield Compute(nbytes * self.cpu.ns_per_byte_copy)
         return out
@@ -77,8 +122,9 @@ class SharedAddressSpace:
         ).reshape(-1)
         nbytes = len(buf)
         protocol = self.protocol
-        for page, off, boff, length in self.layout.spans(addr, nbytes):
-            if protocol.update_policy:
+        spans = self.layout.spans_list(addr, nbytes)
+        if protocol.update_policy:
+            for page, off, boff, length in spans:
                 def writer(
                     frame: np.ndarray, off: int = off, boff: int = boff,
                     length: int = length,
@@ -86,11 +132,24 @@ class SharedAddressSpace:
                     frame[off : off + length] = buf[boff : boff + length]
 
                 yield from protocol.locked_store(page, writer)
-                continue
-            if not protocol.has_access(page, write=True):
-                yield from protocol.ensure_write(page)
-            frame = self._memory.data(page)
-            frame[off : off + length] = buf[boff : boff + length]
+        else:
+            entries_get = self._entries_get
+            frames = self._frames_map
+            for span in spans:
+                e = entries_get(span[0])
+                if e is None or e.access < _WRITE or span[0] not in frames:
+                    has_access = protocol.has_access
+                    data = self._memory.data
+                    for page, off, boff, length in spans:
+                        if not has_access(page, True):
+                            yield from protocol.ensure_write(page)
+                        data(page)[off : off + length] = buf[boff : boff + length]
+                    break
+            else:
+                move = self._recency_move
+                for page, off, boff, length in spans:
+                    move(page)
+                    frames[page][off : off + length] = buf[boff : boff + length]
         self.counters.inc("shared_bytes_written", nbytes)
         yield Compute(nbytes * self.cpu.ns_per_byte_copy)
 
@@ -127,16 +186,27 @@ class SharedAddressSpace:
         """Map ``count`` items of ``dtype`` for in-place kernel reads."""
         dt = np.dtype(dtype)
         nbytes = dt.itemsize * count
+        spans = self.layout.spans_list(addr, nbytes)
         out = np.empty(nbytes, dtype=np.uint8)
-        protocol = self.protocol
-        pages = 0
-        for page, off, boff, length in self.layout.spans(addr, nbytes):
-            if not protocol.has_access(page, write=False):
-                yield from protocol.ensure_read(page)
-            frame = self._memory.data(page)
-            out[boff : boff + length] = frame[off : off + length]
-            pages += 1
-        yield Compute(pages * self.cpu.ns_per_op)
+        entries_get = self._entries_get
+        frames = self._frames_map
+        for span in spans:
+            e = entries_get(span[0])
+            if e is None or e.access < _READ or span[0] not in frames:
+                protocol = self.protocol
+                has_access = protocol.has_access
+                data = self._memory.data
+                for page, off, boff, length in spans:
+                    if not has_access(page, False):
+                        yield from protocol.ensure_read(page)
+                    out[boff : boff + length] = data(page)[off : off + length]
+                break
+        else:
+            move = self._recency_move
+            for page, off, boff, length in spans:
+                move(page)
+                out[boff : boff + length] = frames[page][off : off + length]
+        yield Compute(len(spans) * self.cpu.ns_per_op)
         return out.view(dt)
 
     def store_array(self, addr: int, values: np.ndarray) -> Generator[Effect, Any, None]:
@@ -145,10 +215,9 @@ class SharedAddressSpace:
         buf = arr.view(np.uint8).reshape(-1)
         nbytes = len(buf)
         protocol = self.protocol
-        pages = 0
-        for page, off, boff, length in self.layout.spans(addr, nbytes):
-            pages += 1
-            if protocol.update_policy:
+        spans = self.layout.spans_list(addr, nbytes)
+        if protocol.update_policy:
+            for page, off, boff, length in spans:
                 def writer(
                     frame: np.ndarray, off: int = off, boff: int = boff,
                     length: int = length,
@@ -156,28 +225,91 @@ class SharedAddressSpace:
                     frame[off : off + length] = buf[boff : boff + length]
 
                 yield from protocol.locked_store(page, writer)
-                continue
-            if not protocol.has_access(page, write=True):
-                yield from protocol.ensure_write(page)
-            frame = self._memory.data(page)
-            frame[off : off + length] = buf[boff : boff + length]
-        yield Compute(pages * self.cpu.ns_per_op)
+        else:
+            entries_get = self._entries_get
+            frames = self._frames_map
+            for span in spans:
+                e = entries_get(span[0])
+                if e is None or e.access < _WRITE or span[0] not in frames:
+                    has_access = protocol.has_access
+                    data = self._memory.data
+                    for page, off, boff, length in spans:
+                        if not has_access(page, True):
+                            yield from protocol.ensure_write(page)
+                        data(page)[off : off + length] = buf[boff : boff + length]
+                    break
+            else:
+                move = self._recency_move
+                for page, off, boff, length in spans:
+                    move(page)
+                    frames[page][off : off + length] = buf[boff : boff + length]
+        yield Compute(len(spans) * self.cpu.ns_per_op)
 
     # ------------------------------------------------------------------
     # scalar helpers
 
     def read_f64(self, addr: int) -> Generator[Effect, Any, float]:
+        span = self.layout.single_span(addr, 8)
+        if span is not None:
+            e = self._entries_get(span[0])
+            frame = self._frames_map.get(span[0])
+        else:
+            e = frame = None
+        if e is not None and frame is not None and e.access >= _READ:
+            self._recency_move(span[0])
+            value = _F64.unpack_from(frame, span[1])[0]
+            self.counters.inc("shared_bytes_read", 8)
+            yield Compute(8 * self.cpu.ns_per_byte_copy)
+            return value
         arr = yield from self.read_array(addr, np.float64, 1)
         return float(arr[0])
 
     def write_f64(self, addr: int, value: float) -> Generator[Effect, Any, None]:
+        span = self.layout.single_span(addr, 8)
+        protocol = self.protocol
+        if span is not None and not protocol.update_policy:
+            e = self._entries_get(span[0])
+            frame = self._frames_map.get(span[0])
+        else:
+            e = frame = None
+        if e is not None and frame is not None and e.access >= _WRITE:
+            self._recency_move(span[0])
+            _F64.pack_into(frame, span[1], value)
+            self.counters.inc("shared_bytes_written", 8)
+            yield Compute(8 * self.cpu.ns_per_byte_copy)
+            return
         yield from self.write_array(addr, np.array([value], dtype=np.float64))
 
     def read_i64(self, addr: int) -> Generator[Effect, Any, int]:
+        span = self.layout.single_span(addr, 8)
+        if span is not None:
+            e = self._entries_get(span[0])
+            frame = self._frames_map.get(span[0])
+        else:
+            e = frame = None
+        if e is not None and frame is not None and e.access >= _READ:
+            self._recency_move(span[0])
+            value = _I64.unpack_from(frame, span[1])[0]
+            self.counters.inc("shared_bytes_read", 8)
+            yield Compute(8 * self.cpu.ns_per_byte_copy)
+            return value
         arr = yield from self.read_array(addr, np.int64, 1)
         return int(arr[0])
 
     def write_i64(self, addr: int, value: int) -> Generator[Effect, Any, None]:
+        span = self.layout.single_span(addr, 8)
+        protocol = self.protocol
+        if span is not None and not protocol.update_policy:
+            e = self._entries_get(span[0])
+            frame = self._frames_map.get(span[0])
+        else:
+            e = frame = None
+        if e is not None and frame is not None and e.access >= _WRITE:
+            self._recency_move(span[0])
+            _I64.pack_into(frame, span[1], value)
+            self.counters.inc("shared_bytes_written", 8)
+            yield Compute(8 * self.cpu.ns_per_byte_copy)
+            return
         yield from self.write_array(addr, np.array([value], dtype=np.int64))
 
     # ------------------------------------------------------------------

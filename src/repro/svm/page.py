@@ -126,5 +126,14 @@ class PageTable:
         """Entries that have been materialised (for assertions/tests)."""
         return dict(self._entries)
 
+    def raw_entries(self) -> dict[int, PageTableEntry]:
+        """The live page->entry mapping, for data-plane fast-path probes.
+
+        Callers must treat a missing page as "no access" and fall back to
+        :meth:`entry` (which creates lazily and notifies the observer) —
+        never insert into this mapping directly.
+        """
+        return self._entries
+
     def __getitem__(self, page: int) -> PageTableEntry:
         return self.entry(page)

@@ -44,7 +44,7 @@ from repro.machine.pager import Pager
 from repro.metrics.collect import Counters
 from repro.net.packet import annotate_op, request_size
 from repro.net.remoteop import Forward, NO_REPLY, RemoteOp, Reply
-from repro.obs import NULL_OBS, Observability, Span
+from repro.obs import NULL_OBS, NULL_SPAN, Observability, Span
 from repro.sim.kernel import Simulator
 from repro.sim.process import Compute, Effect
 from repro.sim.trace import NULL_TRACE, TraceRecorder
@@ -54,6 +54,11 @@ __all__ = ["CoherenceProtocol", "ProtocolError", "make_protocol"]
 
 OP_READ = "svm.read"
 OP_WRITE = "svm.write"
+
+#: Hoisted Access levels: fast-path checks compare the IntEnum directly
+#: (a C-level int comparison) instead of dispatching permits_*().
+_READ = Access.READ
+_WRITE = Access.WRITE
 OP_INV = "svm.inv"
 OP_CHOWN = "svm.chown"
 OP_LOCATE = "svm.locate"
@@ -268,7 +273,8 @@ class CoherenceProtocol:
         if we own the page; otherwise stay silent.  Completely free of
         side effects, so retransmitted duplicates may re-execute."""
         entry = self.table.entry(page)
-        yield from entry.lock.acquire()
+        if not entry.lock.try_acquire():
+            yield from entry.lock.acquire()
         try:
             if entry.is_owner:
                 return Reply(self.node_id, nbytes=48)
@@ -280,20 +286,26 @@ class CoherenceProtocol:
     # client side: called by the shared address space
 
     def has_access(self, page: int, write: bool) -> bool:
-        """MMU fast-path check: protection sufficient and frame resident."""
+        """MMU fast-path check: protection sufficient and frame resident.
+
+        Pure (no touch, no lock): the data-plane fast path probes every
+        spanned page with this before copying anything."""
         entry = self.table.entry(page)
-        needed = entry.access.permits_write() if write else entry.access.permits_read()
+        # Access is an IntEnum: comparing against WRITE/READ directly is
+        # the permits_* predicates without the method dispatch.
+        needed = entry.access >= (Access.WRITE if write else Access.READ)
         return needed and page in self.memory
 
     def ensure_read(self, page: int) -> Generator[Effect, Any, None]:
         """Make ``page`` readable locally, faulting if necessary."""
         entry = self.table.entry(page)
-        if entry.access.permits_read() and page in self.memory:
+        if entry.access >= _READ and page in self.memory:
             self.memory.touch(page)
             return
-        yield from entry.lock.acquire()
+        if not entry.lock.try_acquire():
+            yield from entry.lock.acquire()
         try:
-            if entry.access.permits_read() and page in self.memory:
+            if entry.access >= _READ and page in self.memory:
                 return
             if entry.is_owner:
                 # Owner whose frame is on disk (or never touched): Aegis
@@ -304,7 +316,14 @@ class CoherenceProtocol:
             self.counters.inc("read_faults")
             if self._observed:
                 self._note("svm.fault_begin", node=self.node_id, page=page, write=False)
-            span = self.obs.span_begin("fault.read", node=self.node_id, page=page)
+            obs = self.obs
+            # Span construction (and its kwargs dict) is per-fault work;
+            # skip it entirely when observability is off.
+            span = (
+                obs.span_begin("fault.read", node=self.node_id, page=page)
+                if obs
+                else NULL_SPAN
+            )
             try:
                 yield Compute(self.config.svm.fault_handler_cost)
                 while True:
@@ -317,8 +336,11 @@ class CoherenceProtocol:
                         # has a newer owner; chase it.
                         self.counters.inc("stale_read_retries")
                         continue
-                    image = None if data is None else np.frombuffer(data, dtype=np.uint8)
-                    yield from self.pager.install(page, image)
+                    # `data` is already a uint8 ndarray snapshot (the owner
+                    # copies its frame at serve time); install() copies it
+                    # into the local frame.
+                    if self.pager.try_install(page, data) is None:
+                        yield from self.pager.install(page, data)
                     if entry.inv_epoch != epoch:
                         # install() may consume time under frame pressure
                         # (evictions hit the disk); an invalidation that
@@ -346,10 +368,11 @@ class CoherenceProtocol:
     def ensure_write(self, page: int) -> Generator[Effect, Any, None]:
         """Make ``page`` writable locally (sole copy), faulting if needed."""
         entry = self.table.entry(page)
-        if entry.access.permits_write() and page in self.memory:
+        if entry.access >= _WRITE and page in self.memory:
             self.memory.touch(page)
             return
-        yield from entry.lock.acquire()
+        if not entry.lock.try_acquire():
+            yield from entry.lock.acquire()
         try:
             yield from self._ensure_write_locked(page, entry)
         finally:
@@ -369,7 +392,8 @@ class CoherenceProtocol:
         `repro.sync`).
         """
         entry = self.table.entry(page)
-        yield from entry.lock.acquire()  # lint: keeps-lock
+        if not entry.lock.try_acquire():  # lint: keeps-lock
+            yield from entry.lock.acquire()
         yield from self._ensure_write_locked(page, entry)
         self.memory.pin(page)
         return entry
@@ -383,7 +407,7 @@ class CoherenceProtocol:
         self, page: int, entry: PageTableEntry
     ) -> Generator[Effect, Any, None]:
         """Write-fault body; caller holds ``entry.lock``."""
-        if entry.access.permits_write() and page in self.memory:
+        if entry.access >= _WRITE and page in self.memory:
             self.memory.touch(page)
             return
         started = self.sim.now
@@ -396,10 +420,14 @@ class CoherenceProtocol:
                     self._note(
                         "svm.fault_begin", node=self.node_id, page=page, write=True
                     )
-                span = self.obs.span_begin(
-                    "fault.write", node=self.node_id, page=page,
-                    start=started, upgrade=True,
-                )
+                obs = self.obs
+                if obs:
+                    span = obs.span_begin(
+                        "fault.write", node=self.node_id, page=page,
+                        start=started, upgrade=True,
+                    )
+                else:
+                    span = NULL_SPAN
                 try:
                     yield Compute(self.config.svm.fault_handler_cost)
                     yield from self._invalidate(page, entry.copy_set, span=span)
@@ -424,16 +452,20 @@ class CoherenceProtocol:
         self.counters.inc("write_faults")
         if self._observed:
             self._note("svm.fault_begin", node=self.node_id, page=page, write=True)
-        span = self.obs.span_begin(
-            "fault.write", node=self.node_id, page=page, start=started
-        )
+        obs = self.obs
+        if obs:
+            span = obs.span_begin(
+                "fault.write", node=self.node_id, page=page, start=started
+            )
+        else:
+            span = NULL_SPAN
         try:
             yield Compute(self.config.svm.fault_handler_cost)
             data, copy_set, xfer = yield from self._locate_request(
                 page, entry, OP_WRITE, write=True, span=span
             )
-            image = None if data is None else np.frombuffer(data, dtype=np.uint8)
-            yield from self.pager.install(page, image)
+            if self.pager.try_install(page, data) is None:
+                yield from self.pager.install(page, data)
             entry.is_owner = True
             entry.on_disk = False
             entry.prob_owner = self.node_id
@@ -474,7 +506,7 @@ class CoherenceProtocol:
             if entry.on_disk:
                 yield from self.pager.page_in(page)
                 entry.on_disk = False
-            else:
+            elif self.pager.try_install(page, None) is None:
                 yield from self.pager.install(page, None)
         else:
             self.memory.touch(page)
@@ -494,11 +526,14 @@ class CoherenceProtocol:
             self._note(
                 "svm.invalidate", node=self.node_id, page=page, targets=targets
             )
-        if self.obs:
-            self.obs.observe("inv.fanout", len(targets))
-        ispan = self.obs.span_begin(
-            "inv", parent=span, node=self.node_id, page=page, fanout=len(targets)
-        )
+        obs = self.obs
+        if obs:
+            obs.observe("inv.fanout", len(targets))
+            ispan = obs.span_begin(
+                "inv", parent=span, node=self.node_id, page=page, fanout=len(targets)
+            )
+        else:
+            ispan = NULL_SPAN
         try:
             yield from self.remote.multicast(
                 targets, OP_INV, (page, self.node_id), nbytes=request_size(16),
@@ -512,7 +547,8 @@ class CoherenceProtocol:
 
     def _serve_read(self, origin: int, page: int) -> Generator[Effect, Any, Any]:
         entry = self.table.entry(page)
-        yield from entry.lock.acquire()
+        if not entry.lock.try_acquire():
+            yield from entry.lock.acquire()
         locked = True
         try:
             if not entry.is_owner:
@@ -541,7 +577,10 @@ class CoherenceProtocol:
             yield from self._materialize_owner(page, entry)
             entry.copy_set.add(origin)
             entry.access = Access.READ
-            data = self.memory.data(page).tobytes()
+            # Snapshot the frame as an ndarray (one copy, no bytes-object
+            # round trip).  A zero-copy view would be unsafe: the owner may
+            # upgrade-write this very frame while the reply is in flight.
+            data = self.memory.data(page).copy()
             yield Compute(self.page_size * self.config.cpu.ns_per_byte_copy)
             self.counters.inc("page_copies_sent")
             if self._observed:
@@ -556,7 +595,8 @@ class CoherenceProtocol:
 
     def _serve_write(self, origin: int, page: int) -> Generator[Effect, Any, Any]:
         entry = self.table.entry(page)
-        yield from entry.lock.acquire()
+        if not entry.lock.try_acquire():
+            yield from entry.lock.acquire()
         locked = True
         try:
             if not entry.is_owner:
@@ -577,7 +617,7 @@ class CoherenceProtocol:
                 self.counters.inc("zero_grants")
             else:
                 yield from self._materialize_owner(page, entry)
-                data = self.memory.data(page).tobytes()
+                data = self.memory.data(page).copy()
                 nbytes = self.page_size + 48
             keep_copy = self.update_policy and data is not None
             members = set(entry.copy_set)
@@ -628,9 +668,10 @@ class CoherenceProtocol:
         touch.
         """
         entry = self.table.entry(page)
-        if entry.is_owner and entry.access.permits_write():
+        if entry.is_owner and entry.access >= _WRITE:
             return
-        yield from entry.lock.acquire()
+        if not entry.lock.try_acquire():
+            yield from entry.lock.acquire()
         try:
             if entry.is_owner:
                 if entry.copy_set:
@@ -641,7 +682,12 @@ class CoherenceProtocol:
             if self._observed:
                 self._note("svm.fault_begin", node=self.node_id, page=page, write=True)
             started = self.sim.now
-            span = self.obs.span_begin("fault.chown", node=self.node_id, page=page)
+            obs = self.obs
+            span = (
+                obs.span_begin("fault.chown", node=self.node_id, page=page)
+                if obs
+                else NULL_SPAN
+            )
             try:
                 copy_set, xfer = yield from self._locate_request(
                     page, entry, OP_CHOWN, write=True, span=span
@@ -669,7 +715,8 @@ class CoherenceProtocol:
     def _serve_chown(self, origin: int, page: int) -> Generator[Effect, Any, Any]:
         """Relinquish ownership without sending the page image."""
         entry = self.table.entry(page)
-        yield from entry.lock.acquire()
+        if not entry.lock.try_acquire():
+            yield from entry.lock.acquire()
         locked = True
         try:
             if not entry.is_owner:
@@ -714,7 +761,7 @@ class CoherenceProtocol:
         whose copies were silently left stale."""
         if not entry.copy_set:
             return
-        data = self.memory.data(page).tobytes()
+        data = self.memory.data(page).copy()
         yield Compute(self.page_size * self.config.cpu.ns_per_byte_copy)
         self.counters.inc("updates_sent", len(entry.copy_set))
         if self.obs:
@@ -732,7 +779,8 @@ class CoherenceProtocol:
         holders (update policy only).  The invalidation policy's stores
         use the lock-free fast path instead."""
         entry = self.table.entry(page)
-        yield from entry.lock.acquire()
+        if not entry.lock.try_acquire():
+            yield from entry.lock.acquire()
         try:
             yield from self._ensure_write_locked(page, entry)
             writer(self.memory.data(page))
@@ -753,9 +801,9 @@ class CoherenceProtocol:
             raise ProtocolError(
                 f"node {self.node_id} received an update for page {page} it owns"
             )
-        if page in self.memory and entry.access.permits_read():
+        if page in self.memory and entry.access >= _READ:
             frame = self.memory.data(page)
-            frame[:] = np.frombuffer(data, dtype=np.uint8)
+            frame[:] = data  # pushed image is a shared read-only snapshot
         else:
             entry.inv_epoch += 1
         entry.prob_owner = origin
@@ -763,7 +811,7 @@ class CoherenceProtocol:
         if self._observed:
             self._note(
                 "svm.update_recv", node=self.node_id, page=page,
-                applied=page in self.memory and entry.access.permits_read(),
+                applied=page in self.memory and entry.access >= _READ,
             )
         yield Compute(self.page_size * self.config.cpu.ns_per_byte_copy)
         return True

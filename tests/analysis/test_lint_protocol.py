@@ -275,6 +275,120 @@ def test_span_suppression_comment_is_honoured(tmp_path):
     assert lint.lint_paths([str(handed)]) == []
 
 
+def test_accepts_try_acquire_fast_path_idiom(tmp_path):
+    # The uncontended fast path: try_acquire in the condition, the slow
+    # acquire in the branch, balanced by the try/finally after the `if`.
+    good = tmp_path / "fast_lock.py"
+    good.write_text(
+        "class P:\n"
+        "    def fault(self, page):\n"
+        "        entry = self.table.entry(page)\n"
+        "        if not entry.lock.try_acquire():\n"
+        "            yield from entry.lock.acquire()\n"
+        "        try:\n"
+        "            entry.access = 1\n"
+        "        finally:\n"
+        "            entry.lock.release()\n"
+    )
+    assert lint.lint_paths([str(good)]) == []
+
+
+def test_flags_unbalanced_try_acquire_fast_path(tmp_path):
+    bad = tmp_path / "bad_fast_lock.py"
+    bad.write_text(
+        "class P:\n"
+        "    def fault(self, page):\n"
+        "        entry = self.table.entry(page)\n"
+        "        if not entry.lock.try_acquire():\n"
+        "            yield from entry.lock.acquire()\n"
+        "        entry.access = 1\n"
+        "        entry.lock.release()\n"  # not in a finally: leaks on error
+    )
+    findings = lint.lint_paths([str(bad)])
+    assert findings, "unbalanced fast-path acquire must be flagged"
+    assert all("try/finally" in f for f in findings)
+
+
+def test_fast_path_handoff_suppression_on_the_if_line(tmp_path):
+    handed = tmp_path / "handed_fast_lock.py"
+    handed.write_text(
+        "class P:\n"
+        "    def acquire_page_write(self, page):\n"
+        "        entry = self.table.entry(page)\n"
+        "        if not entry.lock.try_acquire():  # lint: keeps-lock\n"
+        "            yield from entry.lock.acquire()\n"
+        "        return entry\n"
+    )
+    assert lint.lint_paths([str(handed)]) == []
+
+
+def test_accepts_obs_gated_span(tmp_path):
+    # The obs-gated fast path: span opened only under `if obs:`, closed
+    # by the try/finally that follows the `if`.
+    good = tmp_path / "gated_span.py"
+    good.write_text(
+        "class P:\n"
+        "    def serve(self, page):\n"
+        "        obs = self.obs\n"
+        "        if obs:\n"
+        "            span = obs.span_begin('serve', node=0)\n"
+        "        else:\n"
+        "            span = None\n"
+        "        try:\n"
+        "            yield from self.fetch(page)\n"
+        "        finally:\n"
+        "            if span is not None:\n"
+        "                obs.span_end(span)\n"
+    )
+    assert lint.lint_paths([str(good)]) == []
+
+
+def test_flags_discarded_schedule_handle(tmp_path):
+    bad = tmp_path / "discard.py"
+    bad.write_text(
+        "class T:\n"
+        "    def transmit(self, msg):\n"
+        "        self.sim.schedule(10, self._deliver, msg)\n"  # handle dropped
+    )
+    findings = lint.lint_paths([str(bad)])
+    assert len(findings) == 1
+    assert "CancelHandle" in findings[0]
+    assert "schedule_nocancel" in findings[0]
+
+
+def test_flags_discarded_schedule_at_handle(tmp_path):
+    bad = tmp_path / "discard_at.py"
+    bad.write_text(
+        "class T:\n"
+        "    def transmit(self, msg):\n"
+        "        self.sim.schedule_at(10, self._deliver, msg)\n"
+    )
+    findings = lint.lint_paths([str(bad)])
+    assert len(findings) == 1
+    assert "schedule_at_nocancel" in findings[0]
+
+
+def test_assigned_schedule_handle_is_fine(tmp_path):
+    ok = tmp_path / "kept.py"
+    ok.write_text(
+        "class T:\n"
+        "    def arm(self, pending):\n"
+        "        pending.timer = self.sim.schedule(10, self._retransmit, pending)\n"
+        "        self.sim.schedule_nocancel(0, self._poke)\n"
+    )
+    assert lint.lint_paths([str(ok)]) == []
+
+
+def test_discarded_handle_suppression_is_honoured(tmp_path):
+    ok = tmp_path / "suppressed.py"
+    ok.write_text(
+        "class T:\n"
+        "    def once(self):\n"
+        "        self.sim.schedule(10, self._fire)  # lint: drops-handle\n"
+    )
+    assert lint.lint_paths([str(ok)]) == []
+
+
 def test_real_obs_instrumented_sources_are_clean():
     assert (
         lint.lint_paths(

@@ -1,0 +1,87 @@
+"""The parallel experiment runner: picklable jobs, deterministic merging,
+serial fallback, and agreement with the serial speedup harness."""
+
+import pickle
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.exps.parallel import (
+    APP_REGISTRY,
+    Job,
+    measure_speedups_parallel,
+    register_app,
+    resolve_workers,
+    run_jobs,
+)
+from repro.metrics.speedup import measure_speedups, run_app
+
+
+def test_job_spec_is_picklable():
+    job = Job(
+        "jacobi", {"n": 64, "iters": 2}, nprocs=2,
+        config=ClusterConfig().with_svm(page_size=512), key=("jacobi", 2),
+    )
+    clone = pickle.loads(pickle.dumps(job))
+    assert clone == job
+
+
+def test_unknown_app_is_a_loud_error():
+    with pytest.raises(KeyError, match="unknown app 'nope'"):
+        Job("nope").factory()
+
+
+def test_registry_rejects_duplicates():
+    with pytest.raises(ValueError, match="already registered"):
+        register_app("jacobi", APP_REGISTRY["jacobi"])
+
+
+def test_resolve_workers_caps_at_job_count(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    assert resolve_workers(8, njobs=3) == 3
+    assert resolve_workers(1, njobs=100) == 1
+    assert resolve_workers(0, njobs=5) == 1  # never below one
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    assert resolve_workers(None, njobs=10) == 2
+
+
+def test_serial_fallback_matches_direct_run_app():
+    job = Job("dotprod", {"n": 2048}, nprocs=2)
+    (via_runner,) = run_jobs([job], workers=1)
+    direct = run_app(job.factory(), 2)
+    assert via_runner.time_ns == direct.time_ns
+    assert via_runner.counters.snapshot() == direct.counters.snapshot()
+
+
+def test_pool_results_merge_in_job_order():
+    # Two workers on tiny jobs: completion order must not leak into the
+    # merge, and every result must be bit-identical to the serial run.
+    jobs = [Job("dotprod", {"n": 2048}, nprocs=p, key=p) for p in (2, 1)]
+    serial = run_jobs(jobs, workers=1)
+    pooled = run_jobs(jobs, workers=2)
+    assert [r.time_ns for r in pooled] == [r.time_ns for r in serial]
+    assert [r.nprocs for r in pooled] == [2, 1]  # job order, not size order
+    assert [r.counters.snapshot() for r in pooled] == [
+        r.counters.snapshot() for r in serial
+    ]
+
+
+def test_measure_speedups_parallel_matches_serial_harness():
+    app_args = {"n": 64, "iters": 2}
+    par = measure_speedups_parallel("jacobi", app_args, procs=(1, 2), workers=1)
+    ser = measure_speedups(
+        Job("jacobi", app_args).factory(), procs=(1, 2)
+    )
+    assert par.app_name == ser.app_name
+    assert [r.time_ns for r in par.runs] == [r.time_ns for r in ser.runs]
+
+
+def test_per_job_config_is_honoured():
+    small = Job("jacobi", {"n": 64, "iters": 2}, nprocs=2,
+                config=ClusterConfig().with_svm(page_size=512))
+    big = Job("jacobi", {"n": 64, "iters": 2}, nprocs=2,
+              config=ClusterConfig().with_svm(page_size=2048))
+    r_small, r_big = run_jobs([small, big], workers=1)
+    # Different page sizes change fault counts — configs reached the runs.
+    faults = lambda r: r.counters["read_faults"] + r.counters["write_faults"]
+    assert faults(r_small) != faults(r_big)

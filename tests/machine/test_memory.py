@@ -78,6 +78,31 @@ def test_drop_rejects_pinned_pages():
     assert 1 not in mem
 
 
+def test_drop_clears_recency_and_reinstall_starts_hot():
+    # Evicting a page must leave no recency residue: after a reinstall
+    # the page re-enters as the *hottest* frame, never inheriting the
+    # stale position (or stamp, pre-O(1)-LRU) it held before the drop.
+    mem = PhysicalMemory(page_size=16, frames=3)
+    mem.install(0)
+    mem.install(1)
+    mem.install(2)
+    mem.drop(0)  # 0 was the coldest
+    assert 0 not in mem._recency
+    mem.install(0)  # back in, now the hottest
+    assert mem.lru_victim() == 1
+    assert list(mem._recency) == [1, 2, 0]
+
+
+def test_touch_of_non_resident_page_is_rejected():
+    # Touching a dropped page used to silently resurrect a recency entry
+    # for a frame that no longer exists; now it asserts.
+    mem = PhysicalMemory(page_size=16, frames=3)
+    mem.install(7)
+    mem.drop(7)
+    with pytest.raises(AssertionError):
+        mem.touch(7)
+
+
 def test_data_of_missing_page_raises():
     mem = PhysicalMemory(page_size=16, frames=None)
     with pytest.raises(KeyError):

@@ -1,0 +1,107 @@
+"""Schedule-preservation goldens for the wall-clock fast paths.
+
+``golden_schedules.json`` holds ``(events_executed, time_ns)`` for
+dotprod/jacobi/tsp under all three manager algorithms, captured on the
+pre-fast-path tree.  The hot-path optimisations (kernel FIFO lane,
+``schedule_nocancel``, the no-fault data-plane fast path, the O(1) LRU)
+must be *bit-for-bit schedule-preserving*: every fixture must keep
+matching exactly.  A mismatch means an optimisation changed event
+ordering — a correctness bug even if the app output is right, because
+the oracle, the explorer, and every committed BENCH number depend on
+the schedule.
+
+The fixtures double as a drift tripwire: any future change that alters
+them must either be a bug or consciously re-capture the goldens and say
+why in the commit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.ivy import Ivy
+from repro.apps.dotprod import DotProductApp
+from repro.apps.jacobi import JacobiApp
+from repro.apps.tsp import TspApp
+from repro.config import ClusterConfig
+
+GOLDEN_PATH = Path(__file__).parent / "golden_schedules.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+APPS = {
+    "dotprod": lambda p: DotProductApp(p, n=8192),
+    "jacobi": lambda p: JacobiApp(p, n=48, iters=3),
+    "tsp": lambda p: TspApp(p, ncities=8),
+}
+MANAGERS = ("centralized", "fixed", "dynamic")
+
+
+def _run(
+    app_name: str,
+    manager: str,
+    nprocs: int,
+    frames: int | None = None,
+    replacement: str = "lru",
+    obs=None,
+    checker: bool = False,
+):
+    cfg = ClusterConfig().replace(nodes=nprocs).with_svm(algorithm=manager)
+    if frames is not None:
+        cfg = cfg.with_memory(frames=frames, replacement=replacement)
+    if checker:
+        cfg = cfg.replace(checker=True)
+    app = APPS[app_name](nprocs)
+    ivy = Ivy(cfg, obs=obs)
+    result = ivy.run(app.main)
+    app.check(result)
+    return {
+        "events_executed": ivy.cluster.sim.events_executed,
+        "time_ns": ivy.time_ns,
+    }
+
+
+CASES = [
+    (app_name, manager, p)
+    for app_name in APPS
+    for manager in MANAGERS
+    for p in (2, 3)
+]
+
+
+@pytest.mark.parametrize(
+    "app_name,manager,nprocs",
+    CASES,
+    ids=[f"{a}-{m}-p{p}" for a, m, p in CASES],
+)
+def test_schedule_matches_golden(app_name, manager, nprocs):
+    assert _run(app_name, manager, nprocs) == GOLDEN[f"{app_name}/{manager}/p{nprocs}"]
+
+
+@pytest.mark.parametrize("replacement", ["lru", "random"])
+def test_schedule_matches_golden_under_eviction(replacement):
+    # Capacity pressure exercises lru_victim / the recency list: the O(1)
+    # LRU must pick byte-identical victims to the old min-stamp scan.
+    got = _run("jacobi", "dynamic", 2, frames=12, replacement=replacement)
+    assert got == GOLDEN[f"jacobi/dynamic/p2/frames12-{replacement}"]
+
+
+def test_observability_does_not_perturb_schedule():
+    # Span tracing rides the messages; recording must not shift a tick.
+    from repro.obs import Observability
+
+    obs = Observability()
+    got = _run("tsp", "dynamic", 3, obs=obs)
+    assert got == GOLDEN["tsp/dynamic/p3"]
+    assert obs.spans  # actually traced something
+
+
+@pytest.mark.parametrize("manager", MANAGERS)
+def test_oracle_clean_on_fast_path_runs(manager):
+    # The coherence oracle (PR 1) watches every protocol transition; a
+    # fast path that skipped a transition or reordered one would trip it.
+    # The checker itself must also not perturb the schedule.
+    got = _run("jacobi", manager, 2, checker=True)
+    assert got == GOLDEN[f"jacobi/{manager}/p2"]

@@ -18,9 +18,11 @@ rule 2 — balanced entry locks
     followed by a ``try``/``finally`` whose ``finally`` releases the
     *same* lock, so no exception path can leak a held entry lock (a
     leaked lock wedges every future fault on that page, cluster-wide).
-    Functions that intentionally hand the lock to their caller
-    (``acquire_page_write``) annotate the acquire statement with
-    ``# lint: keeps-lock``.
+    The uncontended fast path ``if not e.lock.try_acquire(): yield from
+    e.lock.acquire()`` is balanced by the ``try``/``finally`` that
+    follows the ``if`` in the enclosing suite.  Functions that
+    intentionally hand the lock to their caller (``acquire_page_write``)
+    annotate the acquire statement with ``# lint: keeps-lock``.
 
 rule 3 — no ``return`` inside a generator's ``finally``
     Protocol handlers are effect generators; a ``return`` in a
@@ -48,6 +50,16 @@ rule 5 — balanced spans
     ``# lint: keeps-lock`` annotation marks intentional hand-offs
     (e.g. a helper that opens a span its caller closes).
 
+rule 6 — no discarded cancel handles
+    ``Simulator.schedule`` / ``schedule_at`` return a ``CancelHandle``;
+    calling them as a bare expression statement throws that handle away
+    while still paying its allocation on every event — and these
+    modules schedule an event per message, fault and task step.  A
+    never-cancelled event must use ``schedule_nocancel`` /
+    ``schedule_at_nocancel``; a genuinely cancellable one must assign
+    its handle (``pending.timer = self.sim.schedule(...)``).  Annotate
+    with ``# lint: drops-handle`` for the rare intentional discard.
+
 Usage::
 
     python tools/lint_protocol.py [paths...]
@@ -73,6 +85,9 @@ DEFAULT_PATHS = [
 LOCK_FREE_SERVERS = ("_serve_inv", "_serve_update", "_serve_hint")
 
 SUPPRESS_COMMENT = "# lint: keeps-lock"
+
+#: Rule 6 override: a knowingly discarded CancelHandle.
+SUPPRESS_HANDLE_COMMENT = "# lint: drops-handle"
 
 
 def _is_lock_call(node: ast.AST, method: str) -> ast.expr | None:
@@ -123,8 +138,8 @@ def _method_calls(node: ast.AST, method: str) -> list[ast.Call]:
     ]
 
 
-def _lock_acquires(stmt: ast.stmt) -> list[ast.expr]:
-    """``.lock.acquire()`` expressions anywhere inside one statement."""
+def _lock_acquires(stmt: ast.AST) -> list[ast.expr]:
+    """``.lock.acquire()`` expressions anywhere inside one node."""
     found = []
     for node in ast.walk(stmt):
         lock = _is_lock_call(node, "acquire")
@@ -193,8 +208,19 @@ class ProtocolLinter:
             return  # rule 1 territory; no acquires allowed at all
         self._check_body(fn.body)
 
-    def _check_body(self, body: list[ast.stmt]) -> None:
+    def _check_body(
+        self, body: list[ast.stmt], tail: tuple[ast.stmt, ...] = ()
+    ) -> None:
         for index, stmt in enumerate(body):
+            # A lock acquired inside an ``if`` branch (the try_acquire
+            # fast-path idiom) may be balanced by a try/finally that
+            # follows the ``if`` in the enclosing suite — those trailing
+            # statements run next, so carry them as the continuation.
+            inner_tail = (
+                (*body[index + 1 :], *tail) if isinstance(stmt, ast.If) else ()
+            )
+            if isinstance(stmt, ast.If) and self._suppressed(stmt.lineno):
+                continue  # annotated hand-off covers the whole fast-path idiom
             # Recurse into nested suites first (loops, with, try, if).
             for field_body in (
                 getattr(stmt, "body", None),
@@ -204,11 +230,17 @@ class ProtocolLinter:
                 if isinstance(field_body, list) and field_body and isinstance(
                     field_body[0], ast.stmt
                 ):
-                    self._check_body(field_body)
+                    self._check_body(field_body, inner_tail)
             for handler in getattr(stmt, "handlers", []) or []:
-                self._check_body(handler.body)
+                self._check_body(handler.body, inner_tail)
 
-            acquires = _lock_acquires(stmt)
+            if isinstance(stmt, ast.If):
+                # Branch bodies were covered by the recursion above (with
+                # the continuation); only the condition's own acquires
+                # (``try_acquire`` in the fast-path idiom) remain ours.
+                acquires = _lock_acquires(stmt.test)
+            else:
+                acquires = _lock_acquires(stmt)
             if not acquires:
                 continue
             if isinstance(stmt, ast.Try):
@@ -217,7 +249,7 @@ class ProtocolLinter:
                 continue
             for lock in acquires:
                 wanted = ast.unparse(lock)
-                if not self._followed_by_release(body, index, wanted):
+                if not self._followed_by_release(body, index, wanted, tail):
                     self._report(
                         stmt.lineno,
                         f"{wanted}.acquire() is not followed by a try/finally "
@@ -228,8 +260,13 @@ class ProtocolLinter:
                     )
 
     @staticmethod
-    def _followed_by_release(body: list[ast.stmt], index: int, wanted: str) -> bool:
-        for later in body[index + 1 :]:
+    def _followed_by_release(
+        body: list[ast.stmt],
+        index: int,
+        wanted: str,
+        tail: tuple[ast.stmt, ...] = (),
+    ) -> bool:
+        for later in (*body[index + 1 :], *tail):
             if isinstance(later, ast.Try) and later.finalbody:
                 released = _releases_in_finally(later)
                 if wanted in released:
@@ -272,10 +309,19 @@ class ProtocolLinter:
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 self._check_page_write_body(node.body)
 
-    def _check_page_write_body(self, body: list[ast.stmt]) -> None:
+    def _check_page_write_body(
+        self, body: list[ast.stmt], tail: tuple[ast.stmt, ...] = ()
+    ) -> None:
         for index, stmt in enumerate(body):
             # Recurse into nested suites (loops, with, try, if) — but not
-            # nested defs, which ast.walk hands to us separately.
+            # nested defs, which ast.walk hands to us separately.  As in
+            # rule 2, an ``if`` branch is balanced by the try/finally that
+            # follows the ``if`` in the enclosing suite.
+            inner_tail = (
+                (*body[index + 1 :], *tail) if isinstance(stmt, ast.If) else ()
+            )
+            if isinstance(stmt, ast.If) and self._suppressed(stmt.lineno):
+                continue  # annotated hand-off covers the whole branch
             if not isinstance(stmt, _SCOPE_BARRIERS):
                 for field_body in (
                     getattr(stmt, "body", None),
@@ -285,17 +331,17 @@ class ProtocolLinter:
                     if isinstance(field_body, list) and field_body and isinstance(
                         field_body[0], ast.stmt
                     ):
-                        self._check_page_write_body(field_body)
+                        self._check_page_write_body(field_body, inner_tail)
                 for handler in getattr(stmt, "handlers", []) or []:
-                    self._check_page_write_body(handler.body)
+                    self._check_page_write_body(handler.body, inner_tail)
 
             if not _method_calls(stmt, "acquire_page_write"):
                 continue
-            if isinstance(stmt, ast.Try):
-                continue  # the acquire is inside the try: recursion covered it
+            if isinstance(stmt, (ast.Try, ast.If)):
+                continue  # the acquire is inside the suite: recursion covered it
             if self._suppressed(stmt.lineno):
                 continue
-            if not self._followed_by_page_release(body, index):
+            if not self._followed_by_page_release(body, index, tail):
                 self._report(
                     stmt.lineno,
                     "acquire_page_write(...) is not followed by a try/finally "
@@ -306,8 +352,10 @@ class ProtocolLinter:
                 )
 
     @staticmethod
-    def _followed_by_page_release(body: list[ast.stmt], index: int) -> bool:
-        for later in body[index + 1 :]:
+    def _followed_by_page_release(
+        body: list[ast.stmt], index: int, tail: tuple[ast.stmt, ...] = ()
+    ) -> bool:
+        for later in (*body[index + 1 :], *tail):
             if not (isinstance(later, ast.Try) and later.finalbody):
                 continue
             for final_stmt in later.finalbody:
@@ -325,8 +373,18 @@ class ProtocolLinter:
                 continue  # plain code can't be abandoned mid-span by a yield
             self._check_span_body(node.body)
 
-    def _check_span_body(self, body: list[ast.stmt]) -> None:
+    def _check_span_body(
+        self, body: list[ast.stmt], tail: tuple[ast.stmt, ...] = ()
+    ) -> None:
         for index, stmt in enumerate(body):
+            # As in rule 2: a span opened in an ``if`` branch (the
+            # obs-gated fast path) may be closed by the try/finally that
+            # follows the ``if`` in the enclosing suite.
+            inner_tail = (
+                (*body[index + 1 :], *tail) if isinstance(stmt, ast.If) else ()
+            )
+            if isinstance(stmt, ast.If) and self._suppressed(stmt.lineno):
+                continue  # annotated hand-off covers the whole branch
             is_compound = False
             if not isinstance(stmt, _SCOPE_BARRIERS):
                 for field_body in (
@@ -338,10 +396,10 @@ class ProtocolLinter:
                         field_body[0], ast.stmt
                     ):
                         is_compound = True
-                        self._check_span_body(field_body)
+                        self._check_span_body(field_body, inner_tail)
                 for handler in getattr(stmt, "handlers", []) or []:
                     is_compound = True
-                    self._check_span_body(handler.body)
+                    self._check_span_body(handler.body, inner_tail)
 
             if is_compound:
                 continue  # a span_begin nested in a suite: recursion covered it
@@ -349,7 +407,7 @@ class ProtocolLinter:
                 continue
             if self._suppressed(stmt.lineno):
                 continue
-            if not self._followed_by_span_end(body, index):
+            if not self._followed_by_span_end(body, index, tail):
                 self._report(
                     stmt.lineno,
                     "span_begin(...) in an effect generator is not followed "
@@ -361,14 +419,48 @@ class ProtocolLinter:
                 )
 
     @staticmethod
-    def _followed_by_span_end(body: list[ast.stmt], index: int) -> bool:
-        for later in body[index + 1 :]:
+    def _followed_by_span_end(
+        body: list[ast.stmt], index: int, tail: tuple[ast.stmt, ...] = ()
+    ) -> bool:
+        for later in (*body[index + 1 :], *tail):
             if not (isinstance(later, ast.Try) and later.finalbody):
                 continue
             for final_stmt in later.finalbody:
                 if _method_calls(final_stmt, "span_end"):
                     return True
         return False
+
+    # -- rule 6 --------------------------------------------------------
+
+    def check_no_discarded_schedule_handles(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Expr):
+                continue
+            call = node.value
+            if not isinstance(call, ast.Call):
+                continue
+            func = call.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("schedule", "schedule_at")
+            ):
+                continue
+            line = (
+                self.source_lines[node.lineno - 1]
+                if node.lineno - 1 < len(self.source_lines)
+                else ""
+            )
+            if SUPPRESS_HANDLE_COMMENT in line:
+                continue
+            variant = f"{func.attr}_nocancel"
+            self._report(
+                node.lineno,
+                f"{ast.unparse(func)}(...) discards its CancelHandle — "
+                "these modules schedule an event per message/fault, so a "
+                f"never-cancelled event must use {variant} (assign the "
+                "handle if the event is genuinely cancellable; annotate "
+                f"with '{SUPPRESS_HANDLE_COMMENT}' to override)",
+            )
 
 
 def lint_file(path: Path) -> list[str]:
@@ -380,6 +472,7 @@ def lint_file(path: Path) -> list[str]:
     linter.check_no_return_in_finally()
     linter.check_page_write_sections()
     linter.check_balanced_spans()
+    linter.check_no_discarded_schedule_handles()
     return linter.findings
 
 
