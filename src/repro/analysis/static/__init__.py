@@ -1,0 +1,48 @@
+"""Static protocol verification (the lint-time half of ``repro.analysis``).
+
+Where :mod:`repro.analysis.oracle` and :mod:`repro.analysis.explore`
+check *executions* (one schedule at a time), this package checks the
+*program text* — properties that hold for every schedule, proven at
+lint time:
+
+- :mod:`repro.analysis.static.cfg` — per-function control-flow graphs
+  with exception edges and ``finally`` duplication;
+- :mod:`repro.analysis.static.dataflow` — a generic disjunctive
+  forward-analysis driver over those CFGs;
+- :mod:`repro.analysis.static.locks` — held-lock/span abstract
+  interpretation: the six legacy protocol-lint rules, now path-aware
+  (the ``try_acquire`` fast path and keeps-lock hand-offs are inferred,
+  not annotated);
+- :mod:`repro.analysis.static.waitfor` — cross-handler lock-order and
+  wait-for graph per manager class, proven acyclic (static
+  deadlock-freedom for all four coherence managers);
+- :mod:`repro.analysis.static.messages` — message-exhaustiveness
+  matrix: every sent op has a handler, every awaited op a total reply
+  path;
+- :mod:`repro.analysis.static.determinism` — the simulation stays a
+  pure function of its seed (no wall-clock, unseeded RNGs, id()
+  ordering or raw set iteration).
+
+Run ``python -m repro.analysis.static`` (optionally ``--sarif out.json``)
+for the whole suite; ``tools/lint_protocol.py`` remains as a thin CLI
+shim over the discipline rules.
+"""
+
+from repro.analysis.static.engine import (
+    StaticReport,
+    discipline_lint,
+    run_default,
+    run_explicit,
+)
+from repro.analysis.static.findings import Finding, render, to_sarif, write_sarif
+
+__all__ = [
+    "Finding",
+    "StaticReport",
+    "discipline_lint",
+    "render",
+    "run_default",
+    "run_explicit",
+    "to_sarif",
+    "write_sarif",
+]

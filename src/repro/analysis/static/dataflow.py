@@ -1,0 +1,86 @@
+"""Generic forward analysis over :mod:`repro.analysis.static.cfg`.
+
+The driver explores *disjunctive* abstract states: instead of joining
+states at merge points (which would lose the correlation between a
+``locked`` flag and the lock it guards), it keeps a bounded **set** of
+states per node and propagates each one separately — path sensitivity
+for the price of a per-node cap.  When a node has accumulated
+:data:`STATE_CAP` distinct states, further states are widened by
+dropping their variable environment (the held-token set survives, so
+soundness of the leak checks is preserved; only precision degrades).
+
+An analysis implements three hooks:
+
+``transfer(node, state) -> (normal_states, exc_states)``
+    abstract effect of one statement; ``exc_states`` feed the node's
+    exception edges (letting an acquire report "not held" when the
+    acquire itself raised),
+``refine(node, state, branch) -> state | None``
+    path condition of a ``true``/``false`` edge; ``None`` kills the
+    state (infeasible path),
+``initial(cfg) -> iterable[state]``
+    the entry states.
+
+States must be hashable; convergence follows from the state space being
+finite (tokens and environment values are drawn from the finite set of
+program points).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable, Protocol
+
+from repro.analysis.static.cfg import CFG, Node
+
+__all__ = ["ForwardAnalysis", "run_forward", "STATE_CAP"]
+
+#: Per-node bound on distinct abstract states before widening kicks in.
+STATE_CAP = 64
+
+
+class ForwardAnalysis(Protocol):
+    def initial(self, cfg: CFG) -> Iterable[Any]: ...
+
+    def transfer(
+        self, node: Node, state: Any
+    ) -> tuple[list[Any], list[Any]]: ...
+
+    def refine(self, node: Node, state: Any, branch: bool) -> Any | None: ...
+
+    def widen(self, state: Any) -> Any: ...
+
+
+def run_forward(cfg: CFG, analysis: ForwardAnalysis) -> dict[int, set[Any]]:
+    """Run ``analysis`` to fixpoint; returns the *in*-states per node."""
+    seen: dict[int, set[Any]] = {nid: set() for nid in cfg.nodes}
+    work: deque[tuple[int, Any]] = deque()
+
+    for state in analysis.initial(cfg):
+        if state not in seen[cfg.entry]:
+            seen[cfg.entry].add(state)
+            work.append((cfg.entry, state))
+
+    while work:
+        nid, state = work.popleft()
+        node = cfg.nodes[nid]
+        normal, exc = analysis.transfer(node, state)
+        for dst, ekind in cfg.succs[nid]:
+            if ekind == "exc":
+                outs: list[Any | None] = list(exc)
+            elif ekind == "normal":
+                outs = list(normal)
+            else:  # true / false branch edges
+                outs = [
+                    analysis.refine(node, post, ekind == "true")
+                    for post in normal
+                ]
+            for out in outs:
+                if out is None:
+                    continue
+                if len(seen[dst]) >= STATE_CAP:
+                    out = analysis.widen(out)
+                if out not in seen[dst]:
+                    seen[dst].add(out)
+                    work.append((dst, out))
+    return seen

@@ -1,0 +1,166 @@
+"""Orchestration: which analyses run over which trees.
+
+Three path sets, matching how strict each tree's contract is:
+
+- **discipline** (the six legacy lint rules, now path-sensitive): the
+  protocol, net, machine and obs trees — anywhere entry locks, spans or
+  scheduled events live.
+- **protocol** (wait-for graph + message matrix): ``repro/svm`` — the
+  manager classes.
+- **determinism**: everything that executes inside simulated time —
+  ``repro/sim``, ``svm``, ``net``, ``proc``.  (``repro.obs`` profiles
+  the simulator itself with real clocks and is deliberately exempt.)
+
+:func:`run_default` is the CI entry point (exhaustive, fixed paths);
+:func:`run_explicit` runs every analysis over caller-chosen paths (the
+mutation-corpus tests use it); :func:`discipline_lint` is the narrow
+façade the legacy ``tools/lint_protocol.py`` shim delegates to.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.static import facts as facts_mod
+from repro.analysis.static import messages, waitfor
+from repro.analysis.static.determinism import determinism_findings
+from repro.analysis.static.findings import Finding, render
+from repro.analysis.static.locks import discipline_findings
+
+__all__ = [
+    "DISCIPLINE_PATHS",
+    "PROTOCOL_PATHS",
+    "DETERMINISM_PATHS",
+    "StaticReport",
+    "run_default",
+    "run_explicit",
+    "discipline_lint",
+]
+
+DISCIPLINE_PATHS = [
+    "src/repro/svm",
+    "src/repro/net",
+    "src/repro/machine",
+    "src/repro/obs",
+]
+PROTOCOL_PATHS = ["src/repro/svm"]
+DETERMINISM_PATHS = [
+    "src/repro/sim",
+    "src/repro/svm",
+    "src/repro/net",
+    "src/repro/proc",
+]
+
+
+class StaticReport:
+    """Findings plus the per-manager proof summaries for clean runs."""
+
+    def __init__(
+        self,
+        findings: list[Finding],
+        waitfor_summaries: list[waitfor.WaitforSummary],
+        message_summaries: list[messages.MessageSummary],
+    ) -> None:
+        self.findings = findings
+        self.waitfor_summaries = waitfor_summaries
+        self.message_summaries = message_summaries
+
+    def render_findings(self) -> list[str]:
+        return render(self.findings)
+
+    def render_summary(self) -> list[str]:
+        """The proof obligations discharged, one manager per line."""
+        lines = []
+        msg_by_name = {s.name: s for s in self.message_summaries}
+        for wf in self.waitfor_summaries:
+            msg = msg_by_name.get(wf.name)
+            graph = (
+                "wait-for graph acyclic"
+                if wf.acyclic
+                else f"wait-for CYCLE: {' -> '.join(wf.cycle)}"
+            )
+            held = ", ".join(wf.held_await_ops) or "none"
+            discharged = (
+                f"; {len(wf.discharged_ops)} transient-server edge(s) "
+                "discharged by the ownership-order axiom"
+                if wf.discharged_ops
+                else ""
+            )
+            lines.append(
+                f"{wf.name}: {graph} ({len(wf.ops)} ops; held-await on "
+                f"{held}{discharged})"
+            )
+            if msg is not None:
+                coverage = (
+                    "all sends handled, all reply paths total"
+                    if not msg.unhandled and not msg.dead
+                    else f"unhandled={msg.unhandled} dead={msg.dead}"
+                )
+                lines.append(
+                    f"{wf.name}: message matrix {len(msg.sent_ops)} ops "
+                    f"sent / {len(msg.registered_ops)} handled — {coverage}"
+                )
+        return lines
+
+
+def _discipline(modules: list[facts_mod.Module]) -> list[Finding]:
+    findings: list[Finding] = []
+    for module in modules:
+        findings += discipline_findings(
+            module.path, module.tree, module.source_lines
+        )
+    return findings
+
+
+def run_default(root: str | None = None) -> StaticReport:
+    """The full verifier over the repo's fixed path sets.
+
+    ``root`` defaults to the source checkout this package was imported
+    from, so ``python -m repro.analysis.static`` works from any cwd.  A
+    root whose fixed paths are missing is an error — a verifier that
+    finds no files must never report "clean".
+    """
+    from pathlib import Path
+
+    if root is None:
+        # src/repro/analysis/static/engine.py -> the checkout root.
+        root = str(Path(__file__).resolve().parents[4])
+
+    def resolve(paths: list[str]) -> list[str]:
+        resolved = [Path(root) / p for p in paths]
+        missing = [str(p) for p in resolved if not p.exists()]
+        if missing:
+            raise FileNotFoundError(
+                f"static verifier path set missing under {root!r}: {missing}"
+            )
+        return [str(p) for p in resolved]
+
+    findings = _discipline(facts_mod.load_modules(resolve(DISCIPLINE_PATHS)))
+
+    protocol_modules = facts_mod.load_modules(resolve(PROTOCOL_PATHS))
+    facts = facts_mod.collect(protocol_modules)
+    wf_findings, wf_summaries = waitfor.analyze(facts)
+    msg_findings, msg_summaries = messages.analyze(facts)
+    findings += wf_findings + msg_findings
+
+    for module in facts_mod.load_modules(resolve(DETERMINISM_PATHS)):
+        findings += determinism_findings(module)
+
+    return StaticReport(findings, wf_summaries, msg_summaries)
+
+
+def run_explicit(paths: list[str]) -> StaticReport:
+    """Every analysis over caller-chosen files/directories."""
+    modules = facts_mod.load_modules(paths)
+    findings = _discipline(modules)
+    facts = facts_mod.collect(modules)
+    wf_findings, wf_summaries = waitfor.analyze(facts)
+    msg_findings, msg_summaries = messages.analyze(facts)
+    findings += wf_findings + msg_findings
+    for module in modules:
+        findings += determinism_findings(module)
+    return StaticReport(findings, wf_summaries, msg_summaries)
+
+
+def discipline_lint(paths: list[str]) -> list[str]:
+    """The legacy linter's contract: discipline rules only, rendered as
+    ``path:line: message`` strings."""
+    return render(_discipline(facts_mod.load_modules(paths)))

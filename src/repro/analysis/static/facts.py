@@ -1,0 +1,302 @@
+"""Protocol facts: classes, handlers, message sends, intra-class calls.
+
+This is the syntactic substrate shared by the wait-for and
+message-exhaustiveness analyses.  It extracts, per module and per class:
+
+- op-name constants (``OP_READ = "svm.read"`` and friends, resolved
+  project-wide so ``from ... import OP_READ`` works),
+- handler registrations (``remote.register(OP_X, self._serve_x)``),
+- remote sends (``.request``/``.broadcast``/``.multicast`` calls) with
+  their op argument resolved to a constant, a callee parameter, or
+  unknown,
+- intra-class call sites (``self._helper(...)``) so the wait-for
+  analysis can expand held-lock sets interprocedurally, with op
+  constants threaded through callee parameters (this is how
+  ``_locate_request(page, entry, op, write)`` is seen to send
+  ``OP_READ``/``OP_WRITE``/``OP_CHOWN``),
+- calls detached via ``.spawn(...)`` (fire-and-forget tasks are not
+  awaited, so they contribute sends but never hold-awaits).
+
+Class hierarchies are resolved by name across the analyzed files, so a
+subclass manager inherits its base's registrations, sends and helpers —
+a new MSI/LRC manager gets the whole verification for free by
+subclassing ``CoherenceProtocol``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.static.cfg import scope_walk
+
+__all__ = ["OpRef", "Send", "CallSite", "MethodInfo", "ClassInfo", "Module",
+           "ProjectFacts", "collect", "load_modules"]
+
+#: Reply expectation per send mode/scheme.
+REPLY_UNICAST = "unicast"  # point-to-point, exactly one reply required
+REPLY_ALL = "all"  # every target must reply
+REPLY_ANY = "any"  # first reply wins; silence is legal
+REPLY_NONE = "none"  # fire and forget
+
+
+@dataclass(frozen=True)
+class OpRef:
+    """An op argument: resolved constant, callee parameter, or unknown."""
+
+    value: str | None = None
+    param: str | None = None
+
+
+@dataclass
+class Send:
+    op: OpRef
+    mode: str  # 'request' | 'broadcast' | 'multicast'
+    reply: str  # one of the REPLY_* expectations
+    line: int
+    detached: bool
+
+
+@dataclass
+class CallSite:
+    callee: str
+    call: ast.Call
+    line: int
+    detached: bool
+
+
+@dataclass
+class MethodInfo:
+    name: str
+    fn: ast.FunctionDef | ast.AsyncFunctionDef
+    sends: list[Send] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    registrations: list[tuple[str, str, int]] = field(default_factory=list)
+    #: Contains a *blocking* lock acquisition (``.lock.acquire()`` or
+    #: ``acquire_page_write``).  ``try_acquire`` is non-blocking and does
+    #: not count: a server that try-acquires and replies RETRY never
+    #: participates in a wait-for cycle.
+    blocking_acquires: bool = False
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    bases: list[str]
+    path: str
+    line: int
+    methods: dict[str, MethodInfo] = field(default_factory=dict)
+
+
+@dataclass
+class Module:
+    path: str
+    tree: ast.Module
+    source_lines: list[str]
+
+
+@dataclass
+class ProjectFacts:
+    modules: list[Module] = field(default_factory=list)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    constants: dict[str, str] = field(default_factory=dict)
+
+    def mro(self, name: str) -> list[ClassInfo]:
+        """The class and its known bases, nearest first (by-name, linear
+        walk — fine for the single-inheritance protocol hierarchy)."""
+        out: list[ClassInfo] = []
+        seen: set[str] = set()
+        queue = [name]
+        while queue:
+            current = queue.pop(0)
+            if current in seen or current not in self.classes:
+                continue
+            seen.add(current)
+            info = self.classes[current]
+            out.append(info)
+            queue.extend(info.bases)
+        return out
+
+    def effective_methods(self, name: str) -> dict[str, tuple[ClassInfo, MethodInfo]]:
+        """Method resolution: nearest definition wins."""
+        methods: dict[str, tuple[ClassInfo, MethodInfo]] = {}
+        for cls in self.mro(name):
+            for mname, info in cls.methods.items():
+                methods.setdefault(mname, (cls, info))
+        return methods
+
+    def effective_registrations(
+        self, name: str
+    ) -> dict[str, tuple[str, ClassInfo, int]]:
+        """op → (handler method name, registering class, line)."""
+        regs: dict[str, tuple[str, ClassInfo, int]] = {}
+        for cls in self.mro(name):
+            for info in cls.methods.values():
+                for op, handler, line in info.registrations:
+                    regs.setdefault(op, (handler, cls, line))
+        return regs
+
+    def manager_classes(self) -> list[str]:
+        """Classes (transitively) registering at least one handler."""
+        return sorted(
+            name
+            for name in self.classes
+            if self.effective_registrations(name)
+        )
+
+
+def _base_name(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def _spawn_argument_ids(fn: ast.AST) -> set[int]:
+    """ids of every AST node inside an argument of a ``.spawn(...)`` call."""
+    detached: set[int] = set()
+    for node in scope_walk(fn):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "spawn"
+        ):
+            continue
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            for inner in ast.walk(arg):
+                detached.add(id(inner))
+    return detached
+
+
+def _resolve_op(
+    expr: ast.expr | None,
+    constants: dict[str, str],
+    params: set[str],
+) -> OpRef:
+    if expr is None:
+        return OpRef()
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return OpRef(value=expr.value)
+    if isinstance(expr, ast.Name):
+        if expr.id in constants:
+            return OpRef(value=constants[expr.id])
+        if expr.id in params:
+            return OpRef(param=expr.id)
+    return OpRef()
+
+
+def _send_of(
+    call: ast.Call, constants: dict[str, str], params: set[str], detached: bool
+) -> Send | None:
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    kwargs = {kw.arg: kw.value for kw in call.keywords if kw.arg}
+    if func.attr == "request":
+        op = call.args[1] if len(call.args) > 1 else kwargs.get("op")
+        return Send(
+            _resolve_op(op, constants, params), "request", REPLY_UNICAST,
+            call.lineno, detached,
+        )
+    if func.attr == "multicast":
+        op = call.args[1] if len(call.args) > 1 else kwargs.get("op")
+        return Send(
+            _resolve_op(op, constants, params), "multicast", REPLY_ALL,
+            call.lineno, detached,
+        )
+    if func.attr == "broadcast":
+        op = call.args[0] if call.args else kwargs.get("op")
+        scheme_expr = (
+            call.args[3] if len(call.args) > 3 else kwargs.get("scheme")
+        )
+        scheme = "all"  # RemoteOp.broadcast's default reply scheme
+        if isinstance(scheme_expr, ast.Constant) and isinstance(
+            scheme_expr.value, str
+        ):
+            scheme = scheme_expr.value
+        return Send(
+            _resolve_op(op, constants, params), "broadcast", scheme,
+            call.lineno, detached,
+        )
+    return None
+
+
+def _method_info(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, constants: dict[str, str]
+) -> MethodInfo:
+    info = MethodInfo(fn.name, fn)
+    params = {arg.arg for arg in fn.args.args + fn.args.kwonlyargs}
+    detached_ids = _spawn_argument_ids(fn)
+    for node in scope_walk(fn.body):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        detached = id(node) in detached_ids
+        send = _send_of(node, constants, params, detached)
+        if send is not None:
+            info.sends.append(send)
+            continue
+        if func.attr == "register" and len(node.args) >= 2:
+            op = _resolve_op(node.args[0], constants, params)
+            handler = _base_name(node.args[1])
+            if op.value is not None and handler is not None:
+                info.registrations.append((op.value, handler, node.lineno))
+            continue
+        if func.attr == "acquire":
+            base = func.value
+            if isinstance(base, ast.Attribute) and base.attr == "lock":
+                info.blocking_acquires = True
+        elif func.attr == "acquire_page_write":
+            info.blocking_acquires = True
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            info.calls.append(
+                CallSite(func.attr, node, node.lineno, detached)
+            )
+    return info
+
+
+def load_modules(paths: list[str]) -> list[Module]:
+    modules: list[Module] = []
+    for raw in paths:
+        path = Path(raw)
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            source = file.read_text(encoding="utf-8")
+            modules.append(
+                Module(str(file), ast.parse(source, filename=str(file)),
+                       source.splitlines())
+            )
+    return modules
+
+
+def collect(modules: list[Module]) -> ProjectFacts:
+    facts = ProjectFacts(modules=modules)
+    # Constants first, project-wide, so imports resolve across modules.
+    for module in modules:
+        for stmt in module.tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                facts.constants[stmt.targets[0].id] = stmt.value.value
+    for module in modules:
+        for stmt in module.tree.body:
+            if not isinstance(stmt, ast.ClassDef):
+                continue
+            bases = [b for b in (_base_name(base) for base in stmt.bases) if b]
+            cls = ClassInfo(stmt.name, bases, module.path, stmt.lineno)
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    cls.methods[item.name] = _method_info(item, facts.constants)
+            facts.classes[cls.name] = cls
+    return facts

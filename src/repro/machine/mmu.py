@@ -108,7 +108,7 @@ class AddressLayout:
         protections over all pieces before copying any, so it needs the
         list twice."""
         self.check(addr, nbytes)
-        out = []
+        out: list[tuple[int, int, int, int]] = []
         rel = addr - self.base
         shift = self._shift
         mask = self.page_size - 1

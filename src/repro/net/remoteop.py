@@ -82,14 +82,16 @@ class RemoteOp:
         self.trace = trace
         self.obs = obs
         self.node_id = transport.node_id
-        self._handlers: dict[str, Callable[[int, Any], Generator]] = {}
+        self._handlers: dict[str, Callable[[int, Any], Generator[Effect, Any, Any]]] = {}
         self._local_probes: dict[str, Callable[[Any], bool]] = {}
         transport.set_request_handler(self._dispatch)
         transport.duplicate_probe = self._probe
 
     # ------------------------------------------------------------------
 
-    def register(self, op: str, handler: Callable[[int, Any], Generator]) -> None:
+    def register(
+        self, op: str, handler: Callable[[int, Any], Generator[Effect, Any, Any]]
+    ) -> None:
         """Register the generator handler for operation ``op``."""
         if op in self._handlers:
             raise ValueError(f"operation {op!r} already registered on node {self.node_id}")
@@ -204,6 +206,7 @@ class RemoteOp:
         if handler is None:
             raise RuntimeError(f"node {self.node_id}: no handler for {msg.op!r}")
         obs = self.obs
+        span: Span | None
         if obs:
             span = obs.span_begin(
                 f"serve:{msg.op}", parent=msg.span, node=self.node_id, origin=msg.origin

@@ -129,7 +129,7 @@ class TokenRing:
             stats.broadcasts += 1
             targets = [n for n in range(self.nnodes) if n != msg.src]
         else:
-            targets = (msg.dst,)
+            targets = [msg.dst]
         if self.trace:
             self.trace.emit(
                 "ring.send", src=msg.src, dst=msg.dst, op=msg.op,

@@ -63,6 +63,14 @@ class TransportStats:
         "replies_resent",
     )
 
+    requests_sent: int
+    replies_sent: int
+    forwards_sent: int
+    broadcasts_sent: int
+    retransmits: int
+    duplicates_dropped: int
+    replies_resent: int
+
     def __init__(self) -> None:
         for name in self.__slots__:
             setattr(self, name, 0)
@@ -112,7 +120,7 @@ class Transport:
         self.stats = TransportStats()
         self._next_id = 0
         self._pending: dict[int, _Pending] = {}
-        self._reply_cache: dict[tuple[int, int], tuple] = {}
+        self._reply_cache: dict[tuple[int, int], tuple[Any, ...]] = {}
         #: Upcall into the remote-operation layer for incoming requests.
         self._request_handler: Callable[[Message], None] | None = None
         #: Asked on duplicates of *forwarded* requests: "would this node

@@ -392,7 +392,7 @@ class CoherenceProtocol:
         `repro.sync`).
         """
         entry = self.table.entry(page)
-        if not entry.lock.try_acquire():  # lint: keeps-lock
+        if not entry.lock.try_acquire():
             yield from entry.lock.acquire()
         yield from self._ensure_write_locked(page, entry)
         self.memory.pin(page)

@@ -1,0 +1,10 @@
+"""Uncontended fast path: try_acquire, blocking fallback, try/finally."""
+
+
+def ensure(entry):
+    if not entry.lock.try_acquire():
+        yield from entry.lock.acquire()
+    try:
+        yield from entry.fill()
+    finally:
+        entry.lock.release()

@@ -1,0 +1,11 @@
+"""Intentional lock hand-off: the locked entry is returned to the
+caller (acquire_page_write's shape) — inferred, no annotation."""
+
+
+def acquire_page_write(self, page):
+    entry = self.table.entry(page)
+    if not entry.lock.try_acquire():
+        yield from entry.lock.acquire()
+    yield from self.ensure_write(page, entry)
+    self.memory.pin(page)
+    return entry

@@ -1,0 +1,19 @@
+"""Fault-server idiom: early release under a locked flag, conditional
+release in the finally."""
+
+
+def serve(self, origin, page):
+    entry = self.table.entry(page)
+    if not entry.lock.try_acquire():
+        yield from entry.lock.acquire()
+    locked = True
+    try:
+        if not entry.is_owner:
+            entry.lock.release()
+            locked = False
+            return Forward(entry.prob_owner)
+        yield from entry.materialize()
+        return Reply(entry.snapshot())
+    finally:
+        if locked:
+            entry.lock.release()

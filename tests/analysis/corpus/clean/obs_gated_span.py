@@ -1,0 +1,15 @@
+"""Observability-gated span: opened only when obs is on, closed under
+the same condition."""
+
+
+def traced(self, page):
+    obs = self.obs
+    if obs:
+        span = obs.span_begin("fault", page=page)
+    else:
+        span = None
+    try:
+        yield from self.fault(page)
+    finally:
+        if span is not None:
+            obs.span_end(span)

@@ -1,0 +1,21 @@
+OP_USED = "corpus.used"
+OP_DEAD = "corpus.dead"
+
+
+class StaleManager:
+    def __init__(self, remote):
+        self.remote = remote
+        remote.register(OP_USED, self._serve_used)
+        # BUG: registered, never sent by anyone.
+        remote.register(OP_DEAD, self._serve_dead)
+
+    def use(self, page):
+        yield from self.remote.request(1, OP_USED, page)
+
+    def _serve_used(self, origin, page):
+        return Reply(page)
+        yield
+
+    def _serve_dead(self, origin, page):
+        return Reply(page)
+        yield

@@ -1,0 +1,2 @@
+def arm(self):
+    self.sim.schedule(5, self._tick)

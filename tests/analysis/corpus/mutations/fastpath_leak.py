@@ -1,0 +1,4 @@
+def fast(entry):
+    if not entry.lock.try_acquire():
+        yield from entry.lock.acquire()
+    yield from entry.fill()

@@ -1,0 +1,2 @@
+def arrange(tasks):
+    return sorted(tasks, key=lambda t: id(t))

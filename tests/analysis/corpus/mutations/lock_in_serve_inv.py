@@ -1,0 +1,7 @@
+def _serve_inv(self, origin, payload):
+    entry = self.table.entry(payload[0])
+    yield from entry.lock.acquire()
+    try:
+        entry.access = 0
+    finally:
+        entry.lock.release()

@@ -1,0 +1,3 @@
+def bad_acquire(entry):
+    yield from entry.lock.acquire()
+    yield from entry.fill()

@@ -1,0 +1,3 @@
+def atomic_bump(space, page):
+    entry = yield from space.acquire_page_write(page)
+    entry.data[0] += 1

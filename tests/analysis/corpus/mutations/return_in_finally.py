@@ -1,0 +1,5 @@
+def handler(entry):
+    try:
+        yield from entry.fill()
+    finally:
+        return None

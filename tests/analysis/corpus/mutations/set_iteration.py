@@ -1,0 +1,7 @@
+def fanout(targets):
+    pending = set(targets)
+    return [send(node) for node in pending]
+
+
+def send(node):
+    return node

@@ -1,0 +1,4 @@
+def traced(obs, entry):
+    span = obs.span_begin("fault")
+    yield from entry.fill()
+    obs.span_end(span)

@@ -1,0 +1,5 @@
+import random
+
+
+def jitter(base):
+    return base + random.random()

@@ -1,0 +1,6 @@
+import time
+
+
+def stamp(event):
+    event.at = time.time()
+    return event

@@ -1,0 +1,158 @@
+"""Unit tests for the CFG builder and forward-analysis driver."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.static.cfg import build_cfg, is_generator, may_raise
+from repro.analysis.static.dataflow import STATE_CAP, run_forward
+
+
+def _cfg(source: str):
+    tree = ast.parse(source)
+    fn = tree.body[0]
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(fn)
+
+
+def _kinds(cfg):
+    return {node.kind for node in cfg.nodes.values()}
+
+
+def _edge_kinds(cfg):
+    return {kind for succs in cfg.succs.values() for _, kind in succs}
+
+
+def _reachable_kinds(cfg):
+    reach = cfg.reachable()
+    return {cfg.nodes[nid].kind for nid in reach}
+
+
+class TestStructure:
+    def test_straight_line(self):
+        cfg = _cfg("def f(x):\n    y = x\n    return y\n")
+        assert cfg.exit in cfg.reachable()
+        assert "return" in _reachable_kinds(cfg)
+
+    def test_branch_edges(self):
+        cfg = _cfg("def f(x):\n    if x:\n        return 1\n    return 2\n")
+        assert {"true", "false"} <= _edge_kinds(cfg)
+
+    def test_call_gets_exception_edge(self):
+        cfg = _cfg("def f(x):\n    g(x)\n")
+        assert cfg.exc_exit in cfg.reachable()
+
+    def test_plain_assign_has_no_exception_edge(self):
+        # `locked = True` between an acquire and its try must not
+        # manufacture a leak path.
+        cfg = _cfg("def f(x):\n    locked = True\n    y = locked\n")
+        assert cfg.exc_exit not in cfg.reachable()
+
+    def test_attribute_read_assign_is_safe(self):
+        cfg = _cfg("def f(span):\n    sid = span.sid\n")
+        assert cfg.exc_exit not in cfg.reachable()
+
+    def test_while_true_has_no_false_edge(self):
+        cfg = _cfg("def f(x):\n    while True:\n        g(x)\n")
+        branch = next(n for n in cfg.nodes.values() if n.kind == "branch")
+        kinds = {kind for _, kind in cfg.succs[branch.nid]}
+        assert "false" not in kinds
+
+    def test_for_always_has_exception_edge(self):
+        cfg = _cfg("def f(xs):\n    for x in xs:\n        pass\n")
+        branch = next(n for n in cfg.nodes.values() if n.kind == "branch")
+        assert any(kind == "exc" for _, kind in cfg.succs[branch.nid])
+
+    def test_code_after_return_is_unreachable(self):
+        cfg = _cfg("def f(x):\n    return x\n    yield x\n")
+        reach = cfg.reachable()
+        yield_nodes = [
+            n
+            for n in cfg.nodes.values()
+            if n.stmt is not None
+            and isinstance(n.stmt, ast.Expr)
+            and isinstance(n.stmt.value, ast.Yield)
+        ]
+        assert yield_nodes and all(n.nid not in reach for n in yield_nodes)
+
+
+class TestFinallyDuplication:
+    SRC = (
+        "def f(x):\n"
+        "    try:\n"
+        "        g(x)\n"
+        "    finally:\n"
+        "        cleanup()\n"
+        "    return 1\n"
+    )
+
+    def test_finally_lowered_per_exit_kind(self):
+        cfg = _cfg(self.SRC)
+        cleanups = [
+            n
+            for n in cfg.nodes.values()
+            if n.stmt is not None
+            and isinstance(n.stmt, ast.Expr)
+            and "cleanup" in ast.unparse(n.stmt)
+        ]
+        # One copy for normal completion, one for the exception path,
+        # one for return-through-finally.
+        assert len(cleanups) >= 2
+
+    def test_exception_crosses_finally(self):
+        cfg = _cfg(self.SRC)
+        assert cfg.exc_exit in cfg.reachable()
+
+    def test_handler_bodies_reachable(self):
+        cfg = _cfg(
+            "def f(x):\n"
+            "    try:\n"
+            "        g(x)\n"
+            "    except KeyError:\n"
+            "        h(x)\n"
+            "    return 1\n"
+        )
+        assert "dispatch" in _reachable_kinds(cfg)
+
+
+class TestPredicates:
+    def test_may_raise(self):
+        assert may_raise(ast.parse("g(x)").body[0])
+        assert may_raise(ast.parse("y = x[0]").body[0])
+        assert may_raise(ast.parse("obj.attr = 1").body[0])
+        assert not may_raise(ast.parse("y = x").body[0])
+        assert not may_raise(ast.parse("sid = span.sid").body[0])
+
+    def test_is_generator_ignores_nested_defs(self):
+        fn = ast.parse(
+            "def f(x):\n    def g():\n        yield x\n    return g\n"
+        ).body[0]
+        assert isinstance(fn, ast.FunctionDef)
+        assert not is_generator(fn)
+
+
+class _CountingAnalysis:
+    """Counts statements along each path; unbounded without widening."""
+
+    def initial(self, cfg):
+        return [0]
+
+    def transfer(self, node, state):
+        nxt = state + (1 if node.kind == "stmt" else 0)
+        return [nxt], [nxt]
+
+    def refine(self, node, state, branch):
+        return state
+
+    def widen(self, state):
+        return -1  # collapse
+
+
+class TestDriver:
+    def test_fixpoint_on_loop(self):
+        cfg = _cfg("def f(x):\n    while x:\n        x = g(x)\n    return x\n")
+        states = run_forward(cfg, _CountingAnalysis())
+        # The loop manufactures unboundedly many counts; the cap plus
+        # widening must still reach a fixpoint.
+        assert all(len(s) <= STATE_CAP + 1 for s in states.values())
+        assert states[cfg.exit]

@@ -1,64 +1,26 @@
-#!/usr/bin/env python
-"""AST lint for the two classic footguns of the coherence protocol.
+#!/usr/bin/env python3
+"""Protocol-discipline lint — thin CLI shim over the static verifier.
 
-The protocol's locking discipline has two rules that reviews keep having
-to re-check by hand; this script enforces them mechanically (CI runs it
-over ``src/repro/svm``):
+Historically this file implemented six statement-shape rules itself.
+They are now ported onto the CFG-based engine in
+:mod:`repro.analysis.static` (see ``locks.py`` there), which runs them
+*path-sensitively*: the ``try_acquire`` fast path, the ``locked``-flag
+servers and intentional lock hand-offs (``acquire_page_write`` returning
+the locked entry) are understood from control flow instead of needing
+``# lint: keeps-lock`` annotations.  The rules, unchanged in intent:
 
-rule 1 — lock-free servers
-    An invalidation, update or hint server (``_serve_inv``,
-    ``_serve_update``, ``_serve_hint``) must never acquire a
-    ``PageTableEntry`` lock.  Taking it deadlocks in the classic cycle:
-    the new owner holds its entry lock awaiting invalidation acks while
-    a copy holder's own write fault is parked behind that same lock (see
-    the deviation notes in ``repro/svm/protocol.py``).
+1. ``_serve_inv``/``_serve_update``/``_serve_hint`` never acquire an
+   entry lock (lock-free invalidation path);
+2. an acquired entry lock is released on every path out of the function
+   (was: "wrapped in try/finally");
+3. no ``return`` inside the ``finally`` of an effect generator;
+4. ``acquire_page_write`` sections release on every path;
+5. a span opened in an effect generator is closed on every path;
+6. ``schedule``/``schedule_at`` results are not silently discarded.
 
-rule 2 — balanced entry locks
-    Every ``<entry>.lock.acquire()`` yielded inside a function must be
-    followed by a ``try``/``finally`` whose ``finally`` releases the
-    *same* lock, so no exception path can leak a held entry lock (a
-    leaked lock wedges every future fault on that page, cluster-wide).
-    The uncontended fast path ``if not e.lock.try_acquire(): yield from
-    e.lock.acquire()`` is balanced by the ``try``/``finally`` that
-    follows the ``if`` in the enclosing suite.  Functions that
-    intentionally hand the lock to their caller (``acquire_page_write``)
-    annotate the acquire statement with ``# lint: keeps-lock``.
-
-rule 3 — no ``return`` inside a generator's ``finally``
-    Protocol handlers are effect generators; a ``return`` in a
-    ``finally`` silently replaces whatever was in flight — a propagating
-    ``InvariantViolation``, a ``TaskFailure``, even the generator's own
-    ``GeneratorExit`` — with a normal return, so the checker's finding
-    (or the simulator's cancellation) vanishes.  The ``finally`` of an
-    effect generator may only clean up.
-
-rule 4 — balanced page-write sections
-    ``acquire_page_write(...)`` pins the page and holds its entry lock
-    *cluster-wide*; every call must be followed by a ``try``/``finally``
-    whose ``finally`` calls ``release_page_write`` (the shape of
-    ``SharedAddressSpace.atomic_update``).  The same
-    ``# lint: keeps-lock`` annotation marks intentional hand-offs.
-
-rule 5 — balanced spans
-    Inside an effect generator, every ``span_begin(...)`` must be
-    followed by a ``try``/``finally`` whose ``finally`` calls
-    ``span_end`` (the shape of every traced fault handler in
-    ``repro/svm/protocol.py``).  A span left open by an exception path
-    survives as an "open" record: latency histograms lose the sample
-    and the Perfetto export draws the span to the end of the run —
-    silently wrong observability instead of a loud failure.  The
-    ``# lint: keeps-lock`` annotation marks intentional hand-offs
-    (e.g. a helper that opens a span its caller closes).
-
-rule 6 — no discarded cancel handles
-    ``Simulator.schedule`` / ``schedule_at`` return a ``CancelHandle``;
-    calling them as a bare expression statement throws that handle away
-    while still paying its allocation on every event — and these
-    modules schedule an event per message, fault and task step.  A
-    never-cancelled event must use ``schedule_nocancel`` /
-    ``schedule_at_nocancel``; a genuinely cancellable one must assign
-    its handle (``pending.timer = self.sim.schedule(...)``).  Annotate
-    with ``# lint: drops-handle`` for the rare intentional discard.
+The full verifier (wait-for deadlock-freedom, message exhaustiveness,
+determinism lint) is ``python -m repro.analysis.static``; this shim
+keeps the old entry point and output format for existing tooling.
 
 Usage::
 
@@ -70,9 +32,34 @@ Exit status 1 if any finding is reported.
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
+
+try:
+    from repro.analysis.static.engine import discipline_lint
+    from repro.analysis.static.locks import (
+        LOCK_FREE_SERVERS,
+        SUPPRESS_COMMENT,
+        SUPPRESS_HANDLE_COMMENT,
+    )
+except ImportError:  # direct execution without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.analysis.static.engine import discipline_lint
+    from repro.analysis.static.locks import (
+        LOCK_FREE_SERVERS,
+        SUPPRESS_COMMENT,
+        SUPPRESS_HANDLE_COMMENT,
+    )
+
+__all__ = [
+    "DEFAULT_PATHS",
+    "LOCK_FREE_SERVERS",
+    "SUPPRESS_COMMENT",
+    "SUPPRESS_HANDLE_COMMENT",
+    "lint_file",
+    "lint_paths",
+    "main",
+]
 
 DEFAULT_PATHS = [
     "src/repro/svm",
@@ -81,414 +68,19 @@ DEFAULT_PATHS = [
     "src/repro/obs",
 ]
 
-#: Servers that must stay lock-free (rule 1).
-LOCK_FREE_SERVERS = ("_serve_inv", "_serve_update", "_serve_hint")
 
-SUPPRESS_COMMENT = "# lint: keeps-lock"
-
-#: Rule 6 override: a knowingly discarded CancelHandle.
-SUPPRESS_HANDLE_COMMENT = "# lint: drops-handle"
-
-
-def _is_lock_call(node: ast.AST, method: str) -> ast.expr | None:
-    """If ``node`` is ``<something>.lock.<method>(...)``, return the
-    ``<something>.lock`` expression, else None."""
-    if not isinstance(node, ast.Call):
-        return None
-    func = node.func
-    if not (isinstance(func, ast.Attribute) and func.attr == method):
-        return None
-    base = func.value
-    if isinstance(base, ast.Attribute) and base.attr == "lock":
-        return base
-    return None
-
-
-#: Nested scopes a same-function walk must not descend into.
-_SCOPE_BARRIERS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
-
-
-def _scope_walk(body: list[ast.stmt]):
-    """Walk every node under ``body`` without entering nested function
-    scopes (their yields/returns belong to *their* check, not ours)."""
-    stack: list[ast.AST] = list(body)
-    while stack:
-        node = stack.pop()
-        yield node
-        if isinstance(node, _SCOPE_BARRIERS):
-            continue
-        for child in ast.iter_child_nodes(node):
-            stack.append(child)
-
-
-def _is_generator(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
-    return any(
-        isinstance(node, (ast.Yield, ast.YieldFrom)) for node in _scope_walk(fn.body)
-    )
-
-
-def _method_calls(node: ast.AST, method: str) -> list[ast.Call]:
-    """``<something>.<method>(...)`` calls anywhere inside ``node``."""
-    return [
-        inner
-        for inner in ast.walk(node)
-        if isinstance(inner, ast.Call)
-        and isinstance(inner.func, ast.Attribute)
-        and inner.func.attr == method
-    ]
-
-
-def _lock_acquires(stmt: ast.AST) -> list[ast.expr]:
-    """``.lock.acquire()`` expressions anywhere inside one node."""
-    found = []
-    for node in ast.walk(stmt):
-        lock = _is_lock_call(node, "acquire")
-        if lock is not None:
-            found.append(lock)
-        lock = _is_lock_call(node, "try_acquire")
-        if lock is not None:
-            found.append(lock)
-    return found
-
-
-def _releases_in_finally(stmt: ast.stmt) -> list[str]:
-    """Unparsed lock expressions released in any ``finally`` within."""
-    released = []
-    for node in ast.walk(stmt):
-        if isinstance(node, (ast.Try,)) and node.finalbody:
-            for final_stmt in node.finalbody:
-                for inner in ast.walk(final_stmt):
-                    lock = _is_lock_call(inner, "release")
-                    if lock is not None:
-                        released.append(ast.unparse(lock))
-    return released
-
-
-class ProtocolLinter:
-    def __init__(self, path: Path, tree: ast.Module, source_lines: list[str]) -> None:
-        self.path = path
-        self.tree = tree
-        self.source_lines = source_lines
-        self.findings: list[str] = []
-
-    def _report(self, lineno: int, message: str) -> None:
-        self.findings.append(f"{self.path}:{lineno}: {message}")
-
-    def _suppressed(self, lineno: int) -> bool:
-        line = self.source_lines[lineno - 1] if lineno - 1 < len(self.source_lines) else ""
-        return SUPPRESS_COMMENT in line
-
-    # -- rule 1 --------------------------------------------------------
-
-    def check_lock_free_servers(self) -> None:
-        for node in ast.walk(self.tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            if node.name not in LOCK_FREE_SERVERS:
-                continue
-            for inner in ast.walk(node):
-                lock = _is_lock_call(inner, "acquire")
-                if lock is not None:
-                    self._report(
-                        inner.lineno,
-                        f"{node.name} acquires {ast.unparse(lock)}: invalidation-"
-                        "path servers must be lock-free (deadlock cycle; see "
-                        "repro/svm/protocol.py)",
-                    )
-
-    # -- rule 2 --------------------------------------------------------
-
-    def check_balanced_locks(self) -> None:
-        for node in ast.walk(self.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                self._check_function_locks(node)
-
-    def _check_function_locks(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
-        if fn.name in LOCK_FREE_SERVERS:
-            return  # rule 1 territory; no acquires allowed at all
-        self._check_body(fn.body)
-
-    def _check_body(
-        self, body: list[ast.stmt], tail: tuple[ast.stmt, ...] = ()
-    ) -> None:
-        for index, stmt in enumerate(body):
-            # A lock acquired inside an ``if`` branch (the try_acquire
-            # fast-path idiom) may be balanced by a try/finally that
-            # follows the ``if`` in the enclosing suite — those trailing
-            # statements run next, so carry them as the continuation.
-            inner_tail = (
-                (*body[index + 1 :], *tail) if isinstance(stmt, ast.If) else ()
-            )
-            if isinstance(stmt, ast.If) and self._suppressed(stmt.lineno):
-                continue  # annotated hand-off covers the whole fast-path idiom
-            # Recurse into nested suites first (loops, with, try, if).
-            for field_body in (
-                getattr(stmt, "body", None),
-                getattr(stmt, "orelse", None),
-                getattr(stmt, "finalbody", None),
-            ):
-                if isinstance(field_body, list) and field_body and isinstance(
-                    field_body[0], ast.stmt
-                ):
-                    self._check_body(field_body, inner_tail)
-            for handler in getattr(stmt, "handlers", []) or []:
-                self._check_body(handler.body, inner_tail)
-
-            if isinstance(stmt, ast.If):
-                # Branch bodies were covered by the recursion above (with
-                # the continuation); only the condition's own acquires
-                # (``try_acquire`` in the fast-path idiom) remain ours.
-                acquires = _lock_acquires(stmt.test)
-            else:
-                acquires = _lock_acquires(stmt)
-            if not acquires:
-                continue
-            if isinstance(stmt, ast.Try):
-                continue  # the acquire is inside the try: recursion covered it
-            if self._suppressed(stmt.lineno):
-                continue
-            for lock in acquires:
-                wanted = ast.unparse(lock)
-                if not self._followed_by_release(body, index, wanted, tail):
-                    self._report(
-                        stmt.lineno,
-                        f"{wanted}.acquire() is not followed by a try/finally "
-                        f"releasing {wanted} — an exception would leak the "
-                        "entry lock and wedge every fault on the page "
-                        f"(annotate with '{SUPPRESS_COMMENT}' if the lock is "
-                        "intentionally handed to the caller)",
-                    )
-
-    @staticmethod
-    def _followed_by_release(
-        body: list[ast.stmt],
-        index: int,
-        wanted: str,
-        tail: tuple[ast.stmt, ...] = (),
-    ) -> bool:
-        for later in (*body[index + 1 :], *tail):
-            if isinstance(later, ast.Try) and later.finalbody:
-                released = _releases_in_finally(later)
-                if wanted in released:
-                    return True
-                # ``entry.lock`` vs a local alias: accept a release whose
-                # attribute tail matches (e.g. ``self.table.entry(page)
-                # .lock`` released as ``entry.lock``).
-                tail = wanted.split(".")[-2:]
-                if any(r.split(".")[-2:] == tail for r in released):
-                    return True
-        return False
-
-    # -- rule 3 --------------------------------------------------------
-
-    def check_no_return_in_finally(self) -> None:
-        for node in ast.walk(self.tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            if not _is_generator(node):
-                continue
-            seen: set[int] = set()
-            for inner in _scope_walk(node.body):
-                if not (isinstance(inner, ast.Try) and inner.finalbody):
-                    continue
-                for ret in _scope_walk(inner.finalbody):
-                    if isinstance(ret, ast.Return) and ret.lineno not in seen:
-                        seen.add(ret.lineno)
-                        self._report(
-                            ret.lineno,
-                            f"return inside the finally of effect generator "
-                            f"{node.name}: it replaces whatever was in flight "
-                            "(a propagating violation, a cancellation) with a "
-                            "normal return — the finally may only clean up",
-                        )
-
-    # -- rule 4 --------------------------------------------------------
-
-    def check_page_write_sections(self) -> None:
-        for node in ast.walk(self.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                self._check_page_write_body(node.body)
-
-    def _check_page_write_body(
-        self, body: list[ast.stmt], tail: tuple[ast.stmt, ...] = ()
-    ) -> None:
-        for index, stmt in enumerate(body):
-            # Recurse into nested suites (loops, with, try, if) — but not
-            # nested defs, which ast.walk hands to us separately.  As in
-            # rule 2, an ``if`` branch is balanced by the try/finally that
-            # follows the ``if`` in the enclosing suite.
-            inner_tail = (
-                (*body[index + 1 :], *tail) if isinstance(stmt, ast.If) else ()
-            )
-            if isinstance(stmt, ast.If) and self._suppressed(stmt.lineno):
-                continue  # annotated hand-off covers the whole branch
-            if not isinstance(stmt, _SCOPE_BARRIERS):
-                for field_body in (
-                    getattr(stmt, "body", None),
-                    getattr(stmt, "orelse", None),
-                    getattr(stmt, "finalbody", None),
-                ):
-                    if isinstance(field_body, list) and field_body and isinstance(
-                        field_body[0], ast.stmt
-                    ):
-                        self._check_page_write_body(field_body, inner_tail)
-                for handler in getattr(stmt, "handlers", []) or []:
-                    self._check_page_write_body(handler.body, inner_tail)
-
-            if not _method_calls(stmt, "acquire_page_write"):
-                continue
-            if isinstance(stmt, (ast.Try, ast.If)):
-                continue  # the acquire is inside the suite: recursion covered it
-            if self._suppressed(stmt.lineno):
-                continue
-            if not self._followed_by_page_release(body, index, tail):
-                self._report(
-                    stmt.lineno,
-                    "acquire_page_write(...) is not followed by a try/finally "
-                    "calling release_page_write — an exception would leave "
-                    "the page pinned with its entry lock held cluster-wide "
-                    f"(annotate with '{SUPPRESS_COMMENT}' if the section is "
-                    "intentionally handed to the caller)",
-                )
-
-    @staticmethod
-    def _followed_by_page_release(
-        body: list[ast.stmt], index: int, tail: tuple[ast.stmt, ...] = ()
-    ) -> bool:
-        for later in (*body[index + 1 :], *tail):
-            if not (isinstance(later, ast.Try) and later.finalbody):
-                continue
-            for final_stmt in later.finalbody:
-                if _method_calls(final_stmt, "release_page_write"):
-                    return True
-        return False
-
-    # -- rule 5 --------------------------------------------------------
-
-    def check_balanced_spans(self) -> None:
-        for node in ast.walk(self.tree):
-            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            if not _is_generator(node):
-                continue  # plain code can't be abandoned mid-span by a yield
-            self._check_span_body(node.body)
-
-    def _check_span_body(
-        self, body: list[ast.stmt], tail: tuple[ast.stmt, ...] = ()
-    ) -> None:
-        for index, stmt in enumerate(body):
-            # As in rule 2: a span opened in an ``if`` branch (the
-            # obs-gated fast path) may be closed by the try/finally that
-            # follows the ``if`` in the enclosing suite.
-            inner_tail = (
-                (*body[index + 1 :], *tail) if isinstance(stmt, ast.If) else ()
-            )
-            if isinstance(stmt, ast.If) and self._suppressed(stmt.lineno):
-                continue  # annotated hand-off covers the whole branch
-            is_compound = False
-            if not isinstance(stmt, _SCOPE_BARRIERS):
-                for field_body in (
-                    getattr(stmt, "body", None),
-                    getattr(stmt, "orelse", None),
-                    getattr(stmt, "finalbody", None),
-                ):
-                    if isinstance(field_body, list) and field_body and isinstance(
-                        field_body[0], ast.stmt
-                    ):
-                        is_compound = True
-                        self._check_span_body(field_body, inner_tail)
-                for handler in getattr(stmt, "handlers", []) or []:
-                    is_compound = True
-                    self._check_span_body(handler.body, inner_tail)
-
-            if is_compound:
-                continue  # a span_begin nested in a suite: recursion covered it
-            if not _method_calls(stmt, "span_begin"):
-                continue
-            if self._suppressed(stmt.lineno):
-                continue
-            if not self._followed_by_span_end(body, index, tail):
-                self._report(
-                    stmt.lineno,
-                    "span_begin(...) in an effect generator is not followed "
-                    "by a try/finally calling span_end — an exception path "
-                    "would leave the span open (lost latency sample, span "
-                    "drawn to end-of-run in the Perfetto export) "
-                    f"(annotate with '{SUPPRESS_COMMENT}' if the span is "
-                    "intentionally handed to the caller)",
-                )
-
-    @staticmethod
-    def _followed_by_span_end(
-        body: list[ast.stmt], index: int, tail: tuple[ast.stmt, ...] = ()
-    ) -> bool:
-        for later in (*body[index + 1 :], *tail):
-            if not (isinstance(later, ast.Try) and later.finalbody):
-                continue
-            for final_stmt in later.finalbody:
-                if _method_calls(final_stmt, "span_end"):
-                    return True
-        return False
-
-    # -- rule 6 --------------------------------------------------------
-
-    def check_no_discarded_schedule_handles(self) -> None:
-        for node in ast.walk(self.tree):
-            if not isinstance(node, ast.Expr):
-                continue
-            call = node.value
-            if not isinstance(call, ast.Call):
-                continue
-            func = call.func
-            if not (
-                isinstance(func, ast.Attribute)
-                and func.attr in ("schedule", "schedule_at")
-            ):
-                continue
-            line = (
-                self.source_lines[node.lineno - 1]
-                if node.lineno - 1 < len(self.source_lines)
-                else ""
-            )
-            if SUPPRESS_HANDLE_COMMENT in line:
-                continue
-            variant = f"{func.attr}_nocancel"
-            self._report(
-                node.lineno,
-                f"{ast.unparse(func)}(...) discards its CancelHandle — "
-                "these modules schedule an event per message/fault, so a "
-                f"never-cancelled event must use {variant} (assign the "
-                "handle if the event is genuinely cancellable; annotate "
-                f"with '{SUPPRESS_HANDLE_COMMENT}' to override)",
-            )
-
-
-def lint_file(path: Path) -> list[str]:
-    source = path.read_text(encoding="utf-8")
-    tree = ast.parse(source, filename=str(path))
-    linter = ProtocolLinter(path, tree, source.splitlines())
-    linter.check_lock_free_servers()
-    linter.check_balanced_locks()
-    linter.check_no_return_in_finally()
-    linter.check_page_write_sections()
-    linter.check_balanced_spans()
-    linter.check_no_discarded_schedule_handles()
-    return linter.findings
+def lint_file(path: str | Path) -> list[str]:
+    """Lint one file; returns ``path:line: message`` strings."""
+    return discipline_lint([str(path)])
 
 
 def lint_paths(paths: list[str]) -> list[str]:
-    findings: list[str] = []
-    for raw in paths:
-        path = Path(raw)
-        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
-        for file in files:
-            findings.extend(lint_file(file))
-    return findings
+    """Lint files and directories (directories recursively)."""
+    return discipline_lint([str(p) for p in paths])
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = argv if argv is not None else sys.argv[1:]
-    paths = args or DEFAULT_PATHS
+    paths = list(argv) if argv else DEFAULT_PATHS
     findings = lint_paths(paths)
     for finding in findings:
         print(finding)
@@ -500,4 +92,4 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))
