@@ -14,6 +14,10 @@
     python -m repro.analysis explore --algorithm dynamic --nodes 2 \
         --pages 1 --workload rw --strategy dfs
 
+    # A/B the hand-coded vs statically certified independence relation
+    # over the exhaustive CI sweeps; gate on the committed baseline.
+    python -m repro.analysis explore-bench --check BENCH_explore.json
+
     # Shrink a violating schedule, then re-execute it.
     python -m repro.analysis minimize counterexamples.jsonl
     python -m repro.analysis replay-schedule counterexamples.jsonl
@@ -108,12 +112,20 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         mutation=args.mutation or None,
         hint_period=args.hint_period,
     )
+    relation = None
+    if args.relation == "certified":
+        relation = ex.certified_relation(
+            args.algorithm, args.matrix or None
+        )
+    elif args.relation != "handcoded":
+        raise SystemExit(f"unknown relation {args.relation!r}")
     if args.strategy == "dfs":
         result = ex.explore_dfs(
             scenario,
             por=not args.no_por,
             max_schedules=args.max_schedules,
             max_events=args.max_events,
+            relation=relation,
         )
     elif args.strategy == "pct":
         result = ex.explore_pct(
@@ -134,11 +146,23 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     )
     print(
         f"{scenario.workload} on {scenario.nodes} nodes / {scenario.pages} "
-        f"pages ({scenario.algorithm}, {result.strategy}): "
+        f"pages ({scenario.algorithm}, {result.strategy}, "
+        f"{result.relation} relation): "
         f"{result.schedules} schedules [{statuses}]"
         f"{' (truncated)' if result.truncated else ''}, "
         f"{len(result.fingerprints)} distinct final states"
     )
+    if result.extractor_errors:
+        per_op = ", ".join(
+            f"{op}={count}"
+            for op, count in sorted(result.extractor_errors.items())
+        )
+        total = sum(result.extractor_errors.values())
+        print(
+            f"  explore.extractor_error={total} ({per_op}): footprint "
+            f"extractors failed; affected deliveries fell back to p? "
+            f"(sound, but POR is weakened)"
+        )
     violations = result.violations
     if violations and args.minimize:
         violations = [
@@ -151,9 +175,42 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             f"drops={list(ce.drops)}"
         )
     if args.out:
-        count = ex.save_counterexamples(args.out, scenario, violations)
+        count = ex.save_counterexamples(
+            args.out, scenario, violations, relation=result.relation
+        )
         print(f"saved {count} schedule(s) to {args.out}")
     return 1 if result.violations else 0
+
+
+def _cmd_explore_bench(args: argparse.Namespace) -> int:
+    from repro.analysis import explorebench as eb
+
+    bench = eb.run_bench()
+    for key, sweep in sorted(bench["sweeps"].items()):
+        hand, cert = sweep["handcoded"], sweep["certified"]
+        print(
+            f"{key}: handcoded {hand['schedules']} schedules / "
+            f"certified {cert['schedules']} "
+            f"({hand['states']} distinct final states)"
+        )
+    errors = eb.check_bench(bench)
+    if args.check:
+        try:
+            baseline = eb.load_bench(args.check)
+        except FileNotFoundError:
+            raise SystemExit(f"no such baseline: {args.check}")
+        errors += eb.compare_bench(bench, baseline)
+    for error in errors:
+        print(f"FAIL {error}")
+    if args.out:
+        eb.save_bench(bench, args.out)
+        print(f"saved bench results to {args.out}")
+    if not errors:
+        verdict = "identical verdicts, certified <= handcoded everywhere"
+        if args.check:
+            verdict += ", matches committed baseline"
+        print(f"explore-bench ok: {verdict}")
+    return 1 if errors else 0
 
 
 def _cmd_minimize(args: argparse.Namespace) -> int:
@@ -255,6 +312,16 @@ def main(argv: list[str] | None = None) -> int:
         help="dfs: disable the sleep-set partial-order reduction",
     )
     explore.add_argument(
+        "--relation", default="handcoded",
+        help="dfs independence relation: handcoded | certified "
+        "(statically proven commutativity matrix)",
+    )
+    explore.add_argument(
+        "--matrix", default="",
+        help="certified: load the matrix from this JSON file instead of "
+        "re-running the static analysis",
+    )
+    explore.add_argument(
         "--minimize", type=int, default=0, metavar="N",
         help="delta-debug the first N violating schedules before reporting",
     )
@@ -262,6 +329,20 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default="", help="save violating schedules (JSONL artifact)"
     )
     explore.set_defaults(func=_cmd_explore)
+
+    bench = sub.add_parser(
+        "explore-bench",
+        help="A/B the hand-coded vs certified relation over the CI sweeps",
+    )
+    bench.add_argument(
+        "--out", default="", help="write the bench results (JSON)"
+    )
+    bench.add_argument(
+        "--check", default="", metavar="BASELINE",
+        help="compare against a committed BENCH_explore.json and fail on "
+        "any soundness violation or drift",
+    )
+    bench.set_defaults(func=_cmd_explore_bench)
 
     minimize = sub.add_parser(
         "minimize", help="shrink every schedule in a counterexample artifact"

@@ -51,7 +51,7 @@ from typing import Any, Callable, Generator, Iterable, Sequence
 from repro.analysis.violation import InvariantViolation
 from repro.api.cluster import Cluster
 from repro.config import MILLISECOND, ClusterConfig
-from repro.net.packet import Message
+from repro.net.packet import Message, extractor_errors, parse_delivery_label
 from repro.net.transport import TransportError
 from repro.sim.kernel import DeadlockError, PendingEvent, Scheduler
 from repro.sim.process import Effect, Sleep, Task, TaskFailure
@@ -76,6 +76,8 @@ __all__ = [
     "WORKLOADS",
     "MUTATIONS",
     "independent",
+    "CertifiedIndependence",
+    "certified_relation",
 ]
 
 #: Page size used by all exploration scenarios (the paper's conjectured
@@ -285,11 +287,15 @@ class RecordingScheduler(Scheduler):
     """
 
     def __init__(
-        self, prescribed: Sequence[int] = (), sleep: Iterable[str] = ()
+        self,
+        prescribed: Sequence[int] = (),
+        sleep: Iterable[str] = (),
+        relation: Relation | None = None,
     ) -> None:
         self.prescribed = tuple(prescribed)
         self.log: list[ChoicePoint] = []
         self._sleep = set(sleep)
+        self._relation = relation if relation is not None else independent
 
     def _pick(self, now: int, events: Sequence[PendingEvent]) -> int:
         cursor = len(self.log)
@@ -313,7 +319,7 @@ class RecordingScheduler(Scheduler):
         index = self._pick(now, events)
         if self._sleep and len(self.log) >= len(self.prescribed):
             chosen = events[index].label
-            self._sleep = {z for z in self._sleep if independent(z, chosen)}
+            self._sleep = {z for z in self._sleep if self._relation(z, chosen)}
         self.log.append(ChoicePoint(now, tuple(e.label for e in events), index))
         return index
 
@@ -421,13 +427,15 @@ def run_scenario(
     max_events: int = DEFAULT_MAX_EVENTS,
     scheduler: RecordingScheduler | None = None,
     sleep: Iterable[str] = (),
+    relation: Relation | None = None,
 ) -> RunResult:
     """Execute ``scenario`` once under a controlled schedule.
 
     ``choices`` prescribes same-tick orderings (defaults after the
     prescription runs out); ``drops`` names frame delivery attempts to
     lose (forcing retransmission); ``sleep`` seeds the scheduler's
-    sleep set (DFS partial-order reduction).  Every run is checked
+    sleep set (DFS partial-order reduction) and ``relation`` the
+    independence relation that evolves it.  Every run is checked
     three ways: the online oracle during execution,
     :class:`DeadlockError` on queue drain, and the quiescent sweep
     (oracle + global invariants) after a clean finish.
@@ -436,7 +444,7 @@ def run_scenario(
     sched = (
         scheduler
         if scheduler is not None
-        else RecordingScheduler(choices, sleep=sleep)
+        else RecordingScheduler(choices, sleep=sleep, relation=relation)
     )
     cluster.sim.scheduler = sched
     dropper = _DropCounter(drops)
@@ -497,8 +505,6 @@ def run_scenario(
 # ----------------------------------------------------------------------
 # independence (for partial-order reduction)
 
-_DELIVER_RE = re.compile(r"^deliver:n(\d+):p(\d+):\w+:([\w.]+):")
-
 #: Fan-out deliveries that commute even for the *same* page: each one
 #: only rewrites its target node's page-table entry (access, probOwner)
 #: and the origin aggregates replies order-insensitively (counted for
@@ -513,11 +519,13 @@ def _delivery_footprint(label: str | None) -> tuple[int, int, str] | None:
     """(target node, page, op) for a page-attributed delivery label,
     else None.  Labels that do not parse — task steps, wakes, retransmit
     timers, deliveries whose payload has no page (``p?``) — get no
-    footprint and are treated as conflicting with everything."""
-    match = _DELIVER_RE.match(label) if label else None
-    if match is None:
+    footprint and are treated as conflicting with everything.  Parsing
+    goes through :func:`repro.net.packet.parse_delivery_label`, the
+    single owner of the label grammar."""
+    parsed = parse_delivery_label(label)
+    if parsed is None or parsed.page is None:
         return None
-    return (int(match.group(1)), int(match.group(2)), match.group(3))
+    return (parsed.target, parsed.page, parsed.op)
 
 
 def independent(a: str | None, b: str | None) -> bool:
@@ -539,6 +547,90 @@ def independent(a: str | None, b: str | None) -> bool:
     return fa[2] in _FANOUT_OPS and fb[2] in _FANOUT_OPS
 
 
+#: An independence relation between same-tick event labels.
+Relation = Callable[[str | None, str | None], bool]
+
+
+class CertifiedIndependence:
+    """Independence relation backed by the statically certified
+    commutativity matrix (:mod:`repro.analysis.static.commute`).
+
+    Where :func:`independent` trusts the hand-written extractors and
+    ``_FANOUT_OPS`` outright, this relation commutes only what the
+    effect analysis proved:
+
+    - *different node, different page*: both ops must be certified
+      page-attributed (their extractors provably name every page-keyed
+      state access);
+    - *different node, same page*: both ops must be in the proven
+      subset of the declared fan-out set;
+    - *same node, different page*: the pair must be in the matrix's
+      ``same_node_commutes`` — the strict refinement over the
+      hand-coded relation;
+    - anything unattributed (including every op the analysis demoted)
+      conflicts with everything.
+    """
+
+    name = "certified"
+
+    def __init__(self, entry: dict[str, Any]) -> None:
+        ops = entry.get("ops", {})
+        self.attributed = frozenset(
+            op for op, info in ops.items() if info.get("attributed")
+        )
+        self.fanout_safe = frozenset(entry.get("fanout_safe", ()))
+        self.same_node = frozenset(
+            (a, b) for a, b in entry.get("same_node_commutes", ())
+        )
+
+    def _pair_key(self, a: str, b: str) -> tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def __call__(self, a: str | None, b: str | None) -> bool:
+        fa, fb = _delivery_footprint(a), _delivery_footprint(b)
+        if fa is None or fb is None:
+            return False
+        if fa[2] not in self.attributed or fb[2] not in self.attributed:
+            return False
+        if fa[0] != fb[0]:
+            if fa[1] != fb[1]:
+                return True
+            return fa[2] in self.fanout_safe and fb[2] in self.fanout_safe
+        if fa[1] == fb[1]:
+            return False
+        return self._pair_key(fa[2], fb[2]) in self.same_node
+
+
+def certified_relation(
+    algorithm: str, matrix: dict[str, Any] | str | None = None
+) -> CertifiedIndependence:
+    """The certified independence relation for ``algorithm``.
+
+    ``matrix`` is a matrix dict, a path to one (as written by
+    ``python -m repro.analysis.static --commute-matrix``), or None to
+    run the static analysis on the current checkout."""
+    if matrix is None:
+        from repro.analysis.static.commute import build_matrix
+
+        matrix = build_matrix()
+    elif isinstance(matrix, str):
+        with open(matrix, encoding="utf-8") as fh:
+            matrix = json.load(fh)
+    algorithms = matrix.get("algorithms", {})
+    if algorithm not in algorithms:
+        raise KeyError(
+            f"no commutativity matrix entry for algorithm {algorithm!r}; "
+            f"have {sorted(algorithms)}"
+        )
+    return CertifiedIndependence(algorithms[algorithm])
+
+
+def _relation_name(relation: Relation) -> str:
+    if relation is independent:
+        return "handcoded"
+    return getattr(relation, "name", getattr(relation, "__name__", "custom"))
+
+
 # ----------------------------------------------------------------------
 # exploration strategies
 
@@ -552,6 +644,11 @@ class Counterexample:
     status: str
     rule: str | None
     detail: str
+    #: Which independence relation found it ("handcoded" | "certified" |
+    #: a custom relation's name) — provenance for triage: a schedule
+    #: only reachable under the certified refinement points at the
+    #: matrix, not the protocol.
+    relation: str = "handcoded"
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -561,6 +658,7 @@ class Counterexample:
             "status": self.status,
             "rule": self.rule,
             "detail": self.detail,
+            "relation": self.relation,
         }
 
     @classmethod
@@ -571,6 +669,7 @@ class Counterexample:
             status=raw["status"],
             rule=raw.get("rule"),
             detail=raw.get("detail", ""),
+            relation=raw.get("relation", "handcoded"),
         )
 
 
@@ -585,6 +684,14 @@ class ExplorationResult:
     #: assert set-equality between reduced and full exploration.
     fingerprints: set[str] = field(default_factory=set)
     truncated: bool = False
+    #: Independence relation the exploration pruned with.
+    relation: str = "handcoded"
+    #: Footprint-extractor failures observed during this exploration,
+    #: keyed by op (surfaced by the CLI as ``explore.extractor_error``).
+    #: A failing extractor demotes its deliveries to ``p?`` — still
+    #: sound, but it silently weakens POR, so any nonzero count here
+    #: deserves a look.
+    extractor_errors: dict[str, int] = field(default_factory=dict)
 
     def record(self, run: RunResult, choices: Sequence[int], drops: Sequence[int] = ()) -> None:
         self.schedules += 1
@@ -599,6 +706,7 @@ class ExplorationResult:
                     status=run.status,
                     rule=run.rule,
                     detail=run.detail,
+                    relation=self.relation,
                 )
             )
 
@@ -607,11 +715,25 @@ class ExplorationResult:
         return not self.violations and not self.truncated
 
 
+def _extractor_error_delta(before: dict[str, int]) -> dict[str, int]:
+    """Per-op extractor failures accrued since the ``before`` snapshot.
+
+    The counts live in a process-wide registry (`repro.net.packet`), so
+    each exploration diffs against its own start rather than resetting —
+    concurrent or repeated explorations never clobber each other."""
+    return {
+        op: count - before.get(op, 0)
+        for op, count in extractor_errors().items()
+        if count - before.get(op, 0) > 0
+    }
+
+
 def explore_dfs(
     scenario: Scenario,
     por: bool = True,
     max_schedules: int = 10_000,
     max_events: int = DEFAULT_MAX_EVENTS,
+    relation: Relation | None = None,
 ) -> ExplorationResult:
     """Exhaustive depth-first schedule enumeration.
 
@@ -629,8 +751,16 @@ def explore_dfs(
     and siblings inherit the labels their earlier siblings explored.
     Membership is only trusted when the label is unique in the batch —
     unlabeled or duplicated labels never prune.
+
+    ``relation`` selects the independence relation (default: the
+    hand-coded :func:`independent`; pass :func:`certified_relation`'s
+    result for the statically proven matrix).
     """
-    result = ExplorationResult(scenario=scenario, strategy="dfs")
+    rel = relation if relation is not None else independent
+    result = ExplorationResult(
+        scenario=scenario, strategy="dfs", relation=_relation_name(rel)
+    )
+    errors_before = extractor_errors()
     # Each entry: (prescribed prefix, sleep set at the end of the prefix).
     stack: list[tuple[tuple[int, ...], frozenset[str]]] = [((), frozenset())]
     while stack:
@@ -643,6 +773,7 @@ def explore_dfs(
             choices=prefix,
             max_events=max_events,
             sleep=sleep if por else (),
+            relation=rel,
         )
         result.record(run, run.choices)
         taken = run.choices
@@ -666,20 +797,21 @@ def explore_dfs(
                 if por:
                     inherited = current | {l for l in explored if l is not None}
                     child_sleep = frozenset(
-                        z for z in inherited if independent(z, label)
+                        z for z in inherited if rel(z, label)
                     )
                 else:
                     child_sleep = frozenset()
                 children.append((i, j, taken[:i] + (j,), child_sleep))
                 explored.append(label)
             if por:
-                current = {z for z in current if independent(z, chosen_label)}
+                current = {z for z in current if rel(z, chosen_label)}
         # Pop order must be deepest-first (so the default run's subtree
         # finishes before its shallow siblings start — the order the
         # sleep sets were built for); within one point, low j first.
         children.sort(key=lambda c: (c[0], -c[1]))
         for _i, _j, child_prefix, child_sleep in children:
             stack.append((child_prefix, child_sleep))
+    result.extractor_errors = _extractor_error_delta(errors_before)
     return result
 
 
@@ -694,6 +826,7 @@ def explore_pct(
     with fresh class priorities and ``depth - 1`` random change points
     over the schedule length observed in a probe run."""
     result = ExplorationResult(scenario=scenario, strategy="pct")
+    errors_before = extractor_errors()
     base_seed = scenario.seed if seed is None else seed
     probe = run_scenario(scenario, max_events=max_events)
     result.record(probe, probe.choices)
@@ -707,6 +840,7 @@ def explore_pct(
         )
         # The recorded choices replay through a plain RecordingScheduler.
         result.record(run, run.choices)
+    result.extractor_errors = _extractor_error_delta(errors_before)
     return result
 
 
@@ -726,6 +860,7 @@ def explore_delay(
     produce, because it moves events *across* ticks.
     """
     result = ExplorationResult(scenario=scenario, strategy="delay")
+    errors_before = extractor_errors()
     probe = run_scenario(scenario, max_events=max_events)
     result.record(probe, probe.choices)
     attempts = probe.attempts
@@ -743,6 +878,7 @@ def explore_delay(
             scenario, drops=drops, max_events=max_events
         )
         result.record(run, run.choices, drops)
+    result.extractor_errors = _extractor_error_delta(errors_before)
     return result
 
 
@@ -824,13 +960,22 @@ def minimize_schedule(
 
 
 def save_counterexamples(
-    path: str, scenario: Scenario, counterexamples: Iterable[Counterexample]
+    path: str,
+    scenario: Scenario,
+    counterexamples: Iterable[Counterexample],
+    relation: str = "handcoded",
 ) -> int:
-    """Write a replayable artifact: one scenario header line, then one
-    line per violating schedule.  Returns the number of schedules."""
+    """Write a replayable artifact: one scenario header line (stamped
+    with the independence relation that explored it), then one line per
+    violating schedule.  Returns the number of schedules."""
     count = 0
     with open(path, "w", encoding="utf-8") as fh:
-        fh.write(json.dumps({"kind": "scenario", **scenario.to_dict()}) + "\n")
+        fh.write(
+            json.dumps(
+                {"kind": "scenario", **scenario.to_dict(), "relation": relation}
+            )
+            + "\n"
+        )
         for ce in counterexamples:
             fh.write(json.dumps(ce.to_dict()) + "\n")
             count += 1

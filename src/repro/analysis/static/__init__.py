@@ -21,7 +21,16 @@ lint time:
   path;
 - :mod:`repro.analysis.static.determinism` — the simulation stays a
   pure function of its seed (no wall-clock, unseeded RNGs, id()
-  ordering or raw set iteration).
+  ordering or raw set iteration);
+- :mod:`repro.analysis.static.footprints` — interprocedural read/write
+  effect analysis over every message handler, certifying the
+  ``annotate_op``/``SCHED_FOOTPRINTS`` page extractors against the
+  handler's actual page-keyed state accesses;
+- :mod:`repro.analysis.static.commute` — from those effects, proves the
+  explorer's ``_FANOUT_OPS`` claim handler-by-handler and emits the
+  certified commutativity matrix that ``explore.py``'s
+  ``certified_relation`` loads in place of the hand-coded
+  ``independent()``.
 
 Run ``python -m repro.analysis.static`` (optionally ``--sarif out.json``)
 for the whole suite; ``tools/lint_protocol.py`` remains as a thin CLI

@@ -5,7 +5,9 @@ With no paths, runs the full verifier over the repo's fixed path sets
 determinism) and prints the per-manager proof summary.  With explicit
 paths, runs every analysis over just those files (what the mutation
 corpus tests do).  ``--sarif`` additionally writes a SARIF 2.1.0 log
-for CI annotation.  Exit status 1 iff there are findings.
+for CI annotation; ``--commute-matrix`` writes the certified
+commutativity matrix the explorer's ``--relation certified`` mode
+loads.  Exit status 1 iff there are findings.
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis.static.commute import save_matrix
 from repro.analysis.static.engine import run_default, run_explicit
 from repro.analysis.static.findings import write_sarif
 
@@ -30,12 +33,18 @@ def main(argv: list[str] | None = None) -> int:
         "--sarif", metavar="FILE",
         help="also write the findings as a SARIF 2.1.0 log",
     )
+    parser.add_argument(
+        "--commute-matrix", metavar="FILE",
+        help="also write the certified commutativity matrix as JSON",
+    )
     args = parser.parse_args(argv)
 
     report = run_explicit(args.paths) if args.paths else run_default()
 
     if args.sarif:
         write_sarif(report.findings, args.sarif)
+    if args.commute_matrix:
+        save_matrix(report.commute_matrix(), args.commute_matrix)
 
     for line in report.render_findings():
         print(line)

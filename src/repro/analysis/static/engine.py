@@ -5,8 +5,8 @@ Three path sets, matching how strict each tree's contract is:
 - **discipline** (the six legacy lint rules, now path-sensitive): the
   protocol, net, machine and obs trees — anywhere entry locks, spans or
   scheduled events live.
-- **protocol** (wait-for graph + message matrix): ``repro/svm`` — the
-  manager classes.
+- **protocol** (wait-for graph + message matrix + footprint/commute
+  certification): ``repro/svm`` — the manager classes.
 - **determinism**: everything that executes inside simulated time —
   ``repro/sim``, ``svm``, ``net``, ``proc``.  (``repro.obs`` profiles
   the simulator itself with real clocks and is deliberately exempt.)
@@ -19,6 +19,7 @@ façade the legacy ``tools/lint_protocol.py`` shim delegates to.
 
 from __future__ import annotations
 
+from repro.analysis.static import commute as commute_mod
 from repro.analysis.static import facts as facts_mod
 from repro.analysis.static import messages, waitfor
 from repro.analysis.static.determinism import determinism_findings
@@ -58,10 +59,17 @@ class StaticReport:
         findings: list[Finding],
         waitfor_summaries: list[waitfor.WaitforSummary],
         message_summaries: list[messages.MessageSummary],
+        commute_summaries: list[commute_mod.CommuteSummary] | None = None,
     ) -> None:
         self.findings = findings
         self.waitfor_summaries = waitfor_summaries
         self.message_summaries = message_summaries
+        self.commute_summaries = commute_summaries or []
+
+    def commute_matrix(self) -> dict:
+        """The certified commutativity matrix (see
+        :func:`repro.analysis.static.commute.to_matrix`)."""
+        return commute_mod.to_matrix(self.commute_summaries)
 
     def render_findings(self) -> list[str]:
         return render(self.findings)
@@ -98,6 +106,17 @@ class StaticReport:
                     f"{wf.name}: message matrix {len(msg.sent_ops)} ops "
                     f"sent / {len(msg.registered_ops)} handled — {coverage}"
                 )
+        for cs in self.commute_summaries:
+            total = len(cs.footprints.ops)
+            attributed = len(cs.attributed_ops)
+            proven = ", ".join(cs.fanout_proven) or "none"
+            declared = len(cs.fanout_declared)
+            lines.append(
+                f"{cs.name}: footprints certified {attributed}/{total} ops; "
+                f"fan-out proven {len(cs.fanout_proven)}/{declared} "
+                f"({proven}); {len(cs.same_node_commutes)} same-node "
+                "commuting pair(s)"
+            )
         return lines
 
 
@@ -139,12 +158,13 @@ def run_default(root: str | None = None) -> StaticReport:
     facts = facts_mod.collect(protocol_modules)
     wf_findings, wf_summaries = waitfor.analyze(facts)
     msg_findings, msg_summaries = messages.analyze(facts)
-    findings += wf_findings + msg_findings
+    cm_findings, cm_summaries = commute_mod.analyze(facts)
+    findings += wf_findings + msg_findings + cm_findings
 
     for module in facts_mod.load_modules(resolve(DETERMINISM_PATHS)):
         findings += determinism_findings(module)
 
-    return StaticReport(findings, wf_summaries, msg_summaries)
+    return StaticReport(findings, wf_summaries, msg_summaries, cm_summaries)
 
 
 def run_explicit(paths: list[str]) -> StaticReport:
@@ -154,10 +174,11 @@ def run_explicit(paths: list[str]) -> StaticReport:
     facts = facts_mod.collect(modules)
     wf_findings, wf_summaries = waitfor.analyze(facts)
     msg_findings, msg_summaries = messages.analyze(facts)
-    findings += wf_findings + msg_findings
+    cm_findings, cm_summaries = commute_mod.analyze(facts)
+    findings += wf_findings + msg_findings + cm_findings
     for module in modules:
         findings += determinism_findings(module)
-    return StaticReport(findings, wf_summaries, msg_summaries)
+    return StaticReport(findings, wf_summaries, msg_summaries, cm_summaries)
 
 
 def discipline_lint(paths: list[str]) -> list[str]:

@@ -63,6 +63,23 @@ RULES: dict[str, str] = {
         "a handler returns NO_REPLY for an op that is awaited point-to-point"
     ),
     "msg-dead-handler": "a registered handler's op is never sent by anyone",
+    "footprint-under-declared": (
+        "a message handler keys state by a payload projection its "
+        "declared footprint extractor does not cover (POR would commute "
+        "deliveries that actually conflict)"
+    ),
+    "footprint-unattributable": (
+        "a message handler's effects cannot be attributed to the "
+        "payload's page; its deliveries must conflict with everything"
+    ),
+    "fanout-unproven": (
+        "an op declared fan-out-safe (_FANOUT_OPS) whose handler could "
+        "not be proven to touch only the target's own per-page state"
+    ),
+    "aggregation-order-sensitive": (
+        "reply aggregation at the origin could depend on reply arrival "
+        "order (first-reply-wins without a unique-replier guard)"
+    ),
     "det-wallclock": "wall-clock time sources are forbidden in simulated code",
     "det-unseeded-random": "unseeded random number generators are forbidden",
     "det-id-order": "id()-based ordering is address-dependent, not stable",

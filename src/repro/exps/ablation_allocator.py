@@ -10,6 +10,8 @@ allocates/frees many small objects concurrently).
 from __future__ import annotations
 
 import argparse
+from collections.abc import Generator
+from typing import Any
 
 from repro.api.ivy import Ivy
 from repro.config import ClusterConfig
@@ -19,11 +21,11 @@ from repro.sync.eventcount import EC_RECORD_BYTES
 __all__ = ["run", "main"]
 
 
-def _alloc_storm(allocator: str, nodes: int, per_node: int) -> dict:
+def _alloc_storm(allocator: str, nodes: int, per_node: int) -> dict[str, Any]:
     config = ClusterConfig(nodes=nodes).with_sched(allocator=allocator)
     ivy = Ivy(config)
 
-    def worker(ctx, done):
+    def worker(ctx: Any, done: Any) -> Generator[Any, Any, Any]:
         held = []
         for i in range(per_node):
             addr = yield from ctx.malloc(512)
@@ -35,7 +37,7 @@ def _alloc_storm(allocator: str, nodes: int, per_node: int) -> dict:
             yield from ctx.free(addr)
         yield from ctx.ec_advance(done)
 
-    def main_prog(ctx):
+    def main_prog(ctx: Any) -> Generator[Any, Any, Any]:
         done = yield from ctx.malloc(EC_RECORD_BYTES)
         yield from ctx.ec_init(done)
         for k in range(nodes):
@@ -54,7 +56,7 @@ def _alloc_storm(allocator: str, nodes: int, per_node: int) -> dict:
     }
 
 
-def run(quick: bool = True, nodes: int = 4) -> list[dict]:
+def run(quick: bool = True, nodes: int = 4) -> list[dict[str, Any]]:
     per_node = 40 if quick else 200
     return [
         _alloc_storm("central", nodes, per_node),

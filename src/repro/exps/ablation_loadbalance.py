@@ -15,6 +15,8 @@ thresholded total-count policy.
 from __future__ import annotations
 
 import argparse
+from collections.abc import Generator
+from typing import Any
 
 from repro.api.ivy import Ivy
 from repro.config import ClusterConfig, MILLISECOND
@@ -26,7 +28,7 @@ __all__ = ["run", "main", "POLICIES"]
 POLICIES = ("off", "ready-count", "thresholds")
 
 
-def _burst(policy: str, nodes: int, nprocs: int, quick: bool) -> dict:
+def _burst(policy: str, nodes: int, nprocs: int, quick: bool) -> dict[str, Any]:
     sched_kw = dict(
         load_balancing=policy != "off",
         ready_count_only=policy == "ready-count",
@@ -38,7 +40,7 @@ def _burst(policy: str, nodes: int, nprocs: int, quick: bool) -> dict:
     ivy = Ivy(config)
     slice_ns = 20_000_000 if quick else 60_000_000
 
-    def worker(ctx, slices, done):
+    def worker(ctx: Any, slices: Any, done: Any) -> Generator[Any, Any, Any]:
         # Compute in slices, with a blocking (suspended) phase every few
         # slices — the paper's point is precisely that suspended
         # processes make the ready count a misleading load signal.
@@ -52,7 +54,7 @@ def _burst(policy: str, nodes: int, nprocs: int, quick: bool) -> dict:
                 yield ctx.yield_cpu()
         yield from ctx.ec_advance(done)
 
-    def main_prog(ctx):
+    def main_prog(ctx: Any) -> Generator[Any, Any, Any]:
         done = yield from ctx.malloc(EC_RECORD_BYTES)
         yield from ctx.ec_init(done)
         for i in range(nprocs):
@@ -76,7 +78,7 @@ def _burst(policy: str, nodes: int, nprocs: int, quick: bool) -> dict:
     }
 
 
-def run(quick: bool = True, nodes: int = 4) -> list[dict]:
+def run(quick: bool = True, nodes: int = 4) -> list[dict[str, Any]]:
     nprocs = 12 if quick else 24
     return [_burst(policy, nodes, nprocs, quick) for policy in POLICIES]
 

@@ -20,6 +20,8 @@ of the comparison (the second traversal is where DSM wins big).
 from __future__ import annotations
 
 import argparse
+from collections.abc import Generator
+from typing import Any
 
 import numpy as np
 
@@ -40,7 +42,7 @@ VISIT_OPS = 6
 def _svm_run(nodes: int, elements: int, touches: int) -> int:
     ivy = Ivy(ClusterConfig(nodes=nodes))
 
-    def consumer(ctx, addr, done):
+    def consumer(ctx: Any, addr: Any, done: Any) -> Generator[Any, Any, Any]:
         for _ in range(touches):
             data = yield from ctx.mem.fetch_array(
                 addr, np.uint8, ELEMENT_BYTES * elements
@@ -49,7 +51,7 @@ def _svm_run(nodes: int, elements: int, touches: int) -> int:
             yield ctx.ops(elements * VISIT_OPS)
         yield from ctx.ec_advance(done)
 
-    def main_prog(ctx):
+    def main_prog(ctx: Any) -> Generator[Any, Any, Any]:
         addr = yield from ctx.malloc(ELEMENT_BYTES * elements)
         structure = np.ones(ELEMENT_BYTES * elements, dtype=np.uint8)
         yield from ctx.write_array(addr, structure)
@@ -61,7 +63,7 @@ def _svm_run(nodes: int, elements: int, touches: int) -> int:
         return True
 
     ivy.run(main_prog)
-    return ivy.time_ns
+    return int(ivy.time_ns)
 
 
 def _msgpass_run(nodes: int, elements: int, touches: int) -> int:
@@ -69,14 +71,14 @@ def _msgpass_run(nodes: int, elements: int, touches: int) -> int:
     mp = MessagePassing(ivy)
     nbytes = ELEMENT_BYTES * elements
 
-    def consumer(ctx, done):
+    def consumer(ctx: Any, done: Any) -> Generator[Any, Any, Any]:
         structure = yield from mp.receive(ctx, port=1)
         assert structure == "linked-structure"
         for _ in range(touches):
             yield ctx.ops(elements * VISIT_OPS)
         yield from ctx.ec_advance(done)
 
-    def main_prog(ctx):
+    def main_prog(ctx: Any) -> Generator[Any, Any, Any]:
         done = yield from ctx.malloc(EC_RECORD_BYTES)
         yield from ctx.ec_init(done)
         for k in range(1, nodes):
@@ -90,10 +92,10 @@ def _msgpass_run(nodes: int, elements: int, touches: int) -> int:
         return True
 
     ivy.run(main_prog)
-    return ivy.time_ns
+    return int(ivy.time_ns)
 
 
-def run(quick: bool = True, nodes: int = 4) -> list[dict]:
+def run(quick: bool = True, nodes: int = 4) -> list[dict[str, Any]]:
     elements = 2000 if quick else 8000
     out = []
     for touches in (1, 3):
@@ -113,7 +115,7 @@ def run(quick: bool = True, nodes: int = 4) -> list[dict]:
     return out
 
 
-def _matmul_pair(nodes: int, quick: bool) -> dict:
+def _matmul_pair(nodes: int, quick: bool) -> dict[str, Any]:
     """The same application under both models.  Flat bulk arrays mean
     marshalling is only a copy (no per-element pointer chasing), yet the
     natural master/worker program still loses: the master re-marshals A

@@ -14,6 +14,8 @@ serialises them; overlapped I/O runs them concurrently.
 from __future__ import annotations
 
 import argparse
+from collections.abc import Generator
+from typing import Any
 
 from repro.config import ClusterConfig
 from repro.metrics.report import ascii_table
@@ -21,7 +23,7 @@ from repro.metrics.report import ascii_table
 __all__ = ["run", "main"]
 
 
-def _mixed_run(overlap: bool, sweeps: int, compute_ns: int) -> dict:
+def _mixed_run(overlap: bool, sweeps: int, compute_ns: int) -> dict[str, Any]:
     """One node, two lightweight processes: a pager (sweeps a region that
     does not fit in memory) and a computer.  Without I/O overlap the
     computer is stuck behind every disk transfer; with it, the two jobs
@@ -37,13 +39,13 @@ def _mixed_run(overlap: bool, sweeps: int, compute_ns: int) -> dict:
     ivy = Ivy(config)
     page = config.svm.page_size
 
-    def pager_proc(ctx, region, done):
+    def pager_proc(ctx: Any, region: Any, done: Any) -> Generator[Any, Any, Any]:
         for sweep in range(sweeps):
             for p in range(24):  # 24 pages through 8 frames: pure paging
                 yield from ctx.write_i64(region + p * page, sweep)
         yield from ctx.ec_advance(done)
 
-    def compute_proc(ctx, done):
+    def compute_proc(ctx: Any, done: Any) -> Generator[Any, Any, Any]:
         # Fine slices: with no preemption, slice length bounds how well
         # compute can pack into the pager's disk waits.
         for _ in range(300):
@@ -51,7 +53,7 @@ def _mixed_run(overlap: bool, sweeps: int, compute_ns: int) -> dict:
             yield ctx.yield_cpu()
         yield from ctx.ec_advance(done)
 
-    def main_prog(ctx):
+    def main_prog(ctx: Any) -> Generator[Any, Any, Any]:
         region = yield from ctx.malloc(24 * page)
         done = yield from ctx.malloc(EC_RECORD_BYTES)
         yield from ctx.ec_init(done)
@@ -69,7 +71,7 @@ def _mixed_run(overlap: bool, sweeps: int, compute_ns: int) -> dict:
     }
 
 
-def run(quick: bool = True) -> list[dict]:
+def run(quick: bool = True) -> list[dict[str, Any]]:
     sweeps = 3 if quick else 8
     compute_ns = 3_000_000_000 if quick else 8_000_000_000
     return [

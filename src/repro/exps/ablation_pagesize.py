@@ -15,6 +15,8 @@ mean more false sharing and invalidation ping-pong).
 from __future__ import annotations
 
 import argparse
+from collections.abc import Generator
+from typing import Any
 
 from repro.api.ivy import Ivy
 from repro.config import ClusterConfig
@@ -34,14 +36,14 @@ def _false_sharing_time(page_size: int, rounds: int) -> int:
     config = ClusterConfig(nodes=4).with_svm(page_size=page_size)
     ivy = Ivy(config)
 
-    def worker(ctx, base, k, done):
+    def worker(ctx: Any, base: Any, k: int, done: Any) -> Generator[Any, Any, Any]:
         addr = base + 256 * k
         for i in range(rounds):
             yield from ctx.write_i64(addr, i)
             yield ctx.ops(50)
         yield from ctx.ec_advance(done)
 
-    def main_prog(ctx):
+    def main_prog(ctx: Any) -> Generator[Any, Any, Any]:
         base = yield from ctx.malloc(4096)
         done = yield from ctx.malloc(EC_RECORD_BYTES)
         yield from ctx.ec_init(done)
@@ -51,10 +53,10 @@ def _false_sharing_time(page_size: int, rounds: int) -> int:
         return True
 
     ivy.run(main_prog)
-    return ivy.time_ns
+    return int(ivy.time_ns)
 
 
-def run(quick: bool = True, workers: int | None = None) -> list[dict]:
+def run(quick: bool = True, workers: int | None = None) -> list[dict[str, Any]]:
     jn, jiters = (128, 6) if quick else (256, 12)
     rounds = 30 if quick else 100
     # The jacobi runs at each page size are independent simulations —

@@ -23,6 +23,8 @@ the trade-off:
 from __future__ import annotations
 
 import argparse
+from collections.abc import Generator
+from typing import Any
 
 from repro.api.ivy import Ivy
 from repro.config import ClusterConfig
@@ -32,7 +34,7 @@ from repro.sync.eventcount import EC_RECORD_BYTES
 __all__ = ["run", "main"]
 
 
-def _polling_consumers(policy: str, nodes: int, versions: int) -> dict:
+def _polling_consumers(policy: str, nodes: int, versions: int) -> dict[str, Any]:
     """Readers poll the shared datum itself (no sync pages involved).
 
     This isolates the data page's behaviour: under invalidation every
@@ -44,7 +46,7 @@ def _polling_consumers(policy: str, nodes: int, versions: int) -> dict:
     config = ClusterConfig(nodes=nodes).with_svm(write_policy=policy)
     ivy = Ivy(config)
 
-    def reader(ctx, data_addr, done):
+    def reader(ctx: Any, data_addr: Any, done: Any) -> Generator[Any, Any, Any]:
         seen = 0
         while seen < versions:
             value = yield from ctx.read_i64(data_addr)
@@ -54,7 +56,7 @@ def _polling_consumers(policy: str, nodes: int, versions: int) -> dict:
                 yield Sleep(300_000)  # 0.3 ms poll backoff
         yield from ctx.ec_advance(done)
 
-    def main_prog(ctx):
+    def main_prog(ctx: Any) -> Generator[Any, Any, Any]:
         data = yield from ctx.malloc(8)
         done = yield from ctx.malloc(EC_RECORD_BYTES)
         yield from ctx.ec_init(done)
@@ -76,18 +78,18 @@ def _polling_consumers(policy: str, nodes: int, versions: int) -> dict:
     }
 
 
-def _producer_consumer(policy: str, nodes: int, versions: int) -> dict:
+def _producer_consumer(policy: str, nodes: int, versions: int) -> dict[str, Any]:
     config = ClusterConfig(nodes=nodes).with_svm(write_policy=policy)
     ivy = Ivy(config)
 
-    def reader(ctx, data_addr, ready_ec, ack_ec):
+    def reader(ctx: Any, data_addr: Any, ready_ec: Any, ack_ec: Any) -> Generator[Any, Any, Any]:
         for version in range(1, versions + 1):
             yield from ctx.ec_wait(ready_ec, version)
             value = yield from ctx.read_i64(data_addr)
             assert value == version, (value, version)
             yield from ctx.ec_advance(ack_ec)
 
-    def main_prog(ctx):
+    def main_prog(ctx: Any) -> Generator[Any, Any, Any]:
         data = yield from ctx.malloc(8)
         ready = yield from ctx.malloc(EC_RECORD_BYTES)
         ack = yield from ctx.malloc(EC_RECORD_BYTES)
@@ -110,15 +112,15 @@ def _producer_consumer(policy: str, nodes: int, versions: int) -> dict:
     }
 
 
-def _write_dominated(policy: str, nodes: int, writes: int) -> dict:
+def _write_dominated(policy: str, nodes: int, writes: int) -> dict[str, Any]:
     config = ClusterConfig(nodes=nodes).with_svm(write_policy=policy)
     ivy = Ivy(config)
 
-    def reader(ctx, data_addr, done):
+    def reader(ctx: Any, data_addr: Any, done: Any) -> Generator[Any, Any, Any]:
         yield from ctx.read_i64(data_addr)  # one look, then never again
         yield from ctx.ec_advance(done)
 
-    def main_prog(ctx):
+    def main_prog(ctx: Any) -> Generator[Any, Any, Any]:
         data = yield from ctx.malloc(8)
         done = yield from ctx.malloc(EC_RECORD_BYTES)
         yield from ctx.ec_init(done)
@@ -139,7 +141,7 @@ def _write_dominated(policy: str, nodes: int, writes: int) -> dict:
     }
 
 
-def run(quick: bool = True, nodes: int = 4) -> dict:
+def run(quick: bool = True, nodes: int = 4) -> dict[str, Any]:
     versions = 12 if quick else 40
     writes = 40 if quick else 150
     return {

@@ -9,17 +9,23 @@ below compute them for the common cases.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable
+import re
+import warnings
+from typing import Any, Callable, NamedTuple
 
 __all__ = [
     "BROADCAST",
     "HEADER_BYTES",
+    "DeliveryLabel",
     "Message",
     "annotate_op",
     "delivery_label",
+    "extractor_errors",
     "op_page",
+    "parse_delivery_label",
     "request_size",
     "reply_size",
+    "reset_extractor_errors",
 ]
 
 #: Destination id meaning "every other station on the ring".
@@ -110,34 +116,123 @@ class Message:
 
 _PAGE_OF: dict[str, Callable[[Any], Any]] = {}
 
+#: Extractor failures per op (exception raised, or a non-int result).
+#: The explorer surfaces the total as ``explore.extractor_error``: a
+#: silently-degrading footprint would weaken partial-order reduction
+#: with no signal at all, which is exactly the failure mode the static
+#: certifier exists to rule out.
+_EXTRACTOR_ERRORS: dict[str, int] = {}
+_EXTRACTOR_WARNED: set[str] = set()
+
 
 def annotate_op(op: str, page_of: Callable[[Any], Any]) -> None:
     """Register how to recover the page number from ``op``'s payload."""
     _PAGE_OF[op] = page_of
 
 
+def extractor_errors() -> dict[str, int]:
+    """Footprint-extractor failures observed so far, keyed by op."""
+    return dict(_EXTRACTOR_ERRORS)
+
+
+def reset_extractor_errors() -> None:
+    """Clear the error counts (and the warn-once latch); test hook."""
+    _EXTRACTOR_ERRORS.clear()
+    _EXTRACTOR_WARNED.clear()
+
+
+def _extractor_failed(op: str, why: str) -> None:
+    _EXTRACTOR_ERRORS[op] = _EXTRACTOR_ERRORS.get(op, 0) + 1
+    if op not in _EXTRACTOR_WARNED:
+        _EXTRACTOR_WARNED.add(op)
+        warnings.warn(
+            f"footprint extractor for op {op!r} {why}; its deliveries "
+            "are labelled p? and the schedule explorer treats them as "
+            "conflicting with everything (sound but unreduced)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
 def op_page(op: str, payload: Any) -> int | None:
-    """The page a message concerns, or None when unknown."""
+    """The page a *request* payload concerns, or None when unknown.
+
+    A failing extractor — raising, or returning something that is not a
+    page number — must not kill delivery, but it must not fail silently
+    either: each failure is counted (see :func:`extractor_errors`) and
+    the first per op warns.
+    """
     extractor = _PAGE_OF.get(op)
     if extractor is None:
         return None
     try:
         page = extractor(payload)
-    except Exception:  # noqa: BLE001 - a bad extractor must not kill delivery
+    except Exception as exc:  # noqa: BLE001 - degrade delivery labels, not delivery
+        _extractor_failed(op, f"raised {type(exc).__name__}: {exc}")
         return None
-    return page if isinstance(page, int) else None
+    # bool is an int subtype; True is an ack value, never page 1.
+    if isinstance(page, int) and not isinstance(page, bool):
+        return page
+    _extractor_failed(op, f"returned non-page {page!r}")
+    return None
 
 
 def delivery_label(target: int, msg: Message) -> str:
     """Scheduling label for delivering ``msg`` at station ``target``.
 
     The ``n<target>``/``p<page>`` tokens are what the explorer's
-    independence relation parses; the trailing ``o<origin>.<msg_id>``
-    keeps labels unique per in-flight message.
+    independence relation parses (via :func:`parse_delivery_label`); the
+    trailing ``o<origin>.<msg_id>`` keeps labels unique per in-flight
+    message.
+
+    Only request and broadcast frames are page-attributed: the
+    extractors are registered (and statically certified) against
+    *request* payload shapes, and reply payloads have different ones —
+    a locate reply carries the owner's node id, which an identity
+    extractor would happily mislabel as a page number, silently letting
+    the explorer commute deliveries it has no proof about.  Replies
+    therefore always carry ``p?`` (conflicts with everything).
     """
-    page = op_page(msg.op, msg.payload)
+    page = op_page(msg.op, msg.payload) if msg.kind != "rep" else None
     ptag = "p?" if page is None else f"p{page}"
     return f"deliver:n{target}:{ptag}:{msg.kind}:{msg.op}:o{msg.origin}.{msg.msg_id}"
+
+
+class DeliveryLabel(NamedTuple):
+    """Parsed form of :func:`delivery_label` (``page`` None for ``p?``)."""
+
+    target: int
+    page: int | None
+    kind: str
+    op: str
+    origin: int
+    msg_id: int
+
+
+_LABEL_RE = re.compile(
+    r"^deliver:n(\d+):p(\d+|\?):(\w+):([\w.]+):o(\d+)\.(\d+)$"
+)
+
+
+def parse_delivery_label(label: str | None) -> DeliveryLabel | None:
+    """Parse a delivery label; None for non-delivery labels.
+
+    This is the *only* parser of the label grammar — it lives next to
+    the formatter so the two cannot drift (the explorer's independence
+    relation imports it rather than re-deriving the format).
+    """
+    match = _LABEL_RE.match(label) if label else None
+    if match is None:
+        return None
+    page_tok = match.group(2)
+    return DeliveryLabel(
+        target=int(match.group(1)),
+        page=None if page_tok == "?" else int(page_tok),
+        kind=match.group(3),
+        op=match.group(4),
+        origin=int(match.group(5)),
+        msg_id=int(match.group(6)),
+    )
 
 
 def request_size(arg_bytes: int = 0) -> int:

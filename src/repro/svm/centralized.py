@@ -32,7 +32,10 @@ class CentralizedProtocol(CoherenceProtocol):
     #: the base protocol's, and the manager's ``_owners`` table is keyed
     #: per page, so the base page-granular footprints remain sound — two
     #: same-tick deliveries for different pages commute even when both
-    #: land on the manager and update its table.
+    #: land on the manager and update its table.  This claim is no
+    #: longer trusted: the static effect analysis re-derives every
+    #: handler's page-keyed accesses and certifies the declaration
+    #: (``python -m repro.analysis.static``).
     SCHED_FOOTPRINTS: dict[str, Any] = {}
 
     def __init__(self, **kwargs: Any) -> None:

@@ -50,7 +50,10 @@ class DynamicDistributedProtocol(CoherenceProtocol):
 
     #: Choice-point annotation for the schedule explorer: a hint refresh
     #: only touches the named page's probOwner field, so its delivery
-    #: commutes with deliveries for other pages / other nodes.
+    #: commutes with deliveries for other pages / other nodes.  The
+    #: static effect analysis certifies this projection against
+    #: ``_serve_hint``'s inferred accesses and proves ``svm.hint``'s
+    #: fan-out-safety claim (lock-free, per-page writes only).
     SCHED_FOOTPRINTS = {OP_HINT: lambda payload: payload[0]}
 
     def __init__(self, **kwargs: Any) -> None:

@@ -110,6 +110,10 @@ class CoherenceProtocol:
     #: calls).  An algorithm whose extra state is keyed by something the
     #: explorer cannot see must leave its ops out, which the explorer
     #: treats conservatively (the delivery commutes with nothing).
+    #: Every declaration here is *certified* by the static effect
+    #: analysis (``repro.analysis.static.footprints``): CI proves the
+    #: extractor names every page-keyed state access of the op's
+    #: handler, and fails on any drift.
     SCHED_FOOTPRINTS: dict[str, Any] = {}
 
     def __init__(

@@ -4,6 +4,8 @@ op->entry edge is discharged by the ownership-order axiom."""
 
 OP_ECHO = "corpus.echo"
 
+annotate_op(OP_ECHO, lambda page: page)
+
 
 class EchoManager:
     def __init__(self, remote, table):

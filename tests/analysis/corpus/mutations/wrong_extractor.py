@@ -1,0 +1,24 @@
+"""BUG: the footprint extractor projects the wrong payload element —
+it declares ``payload[0]`` as the op's page while the handler keys the
+page table by ``payload[1]``.  A scheduler trusting the extractor would
+commute deliveries that actually race on the same entry."""
+
+OP_MOVE = "corpus.move"
+
+annotate_op(OP_MOVE, lambda req: req[0])
+
+
+class MoveManager:
+    def __init__(self, remote, table):
+        self.remote = remote
+        self.table = table
+        remote.register(OP_MOVE, self._serve_move)
+
+    def move(self, src, dst):
+        value = yield from self.remote.request(1, OP_MOVE, (src, dst))
+        return value
+
+    def _serve_move(self, origin, req):
+        entry = self.table.entry(req[1])
+        return Reply(entry.owner)
+        yield

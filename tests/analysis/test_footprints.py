@@ -1,0 +1,265 @@
+"""Unit tests for the footprint/commutativity certification and the
+explorer's certified independence relation.
+
+Three layers:
+
+- the effect analysis itself (projection recognition, real-tree
+  certification results: every manager fully attributed, every declared
+  fan-out op proven);
+- the matrix consumed by the explorer (shape, :class:`CertifiedIndependence`
+  semantics on synthetic labels, strict refinement over the hand-coded
+  relation);
+- end-to-end equivalence: exploring under the certified relation must
+  reproduce the hand-coded relation's verdicts exactly.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import explore as ex
+from repro.analysis import explorebench as eb
+from repro.analysis.static import commute, facts as facts_mod
+from repro.analysis.static.footprints import projection_of_lambda
+
+SVM = str(Path(__file__).resolve().parents[2] / "src" / "repro" / "svm")
+
+ALGORITHMS = {"centralized", "fixed", "dynamic", "broadcast"}
+
+
+def _lambda(src: str) -> ast.expr:
+    return ast.parse(src, mode="eval").body
+
+
+class TestProjection:
+    def test_identity(self):
+        assert projection_of_lambda(_lambda("lambda page: page")) == "payload"
+
+    def test_index(self):
+        assert projection_of_lambda(_lambda("lambda r: r[2]")) == "payload[2]"
+
+    def test_uncertifiable(self):
+        for src in (
+            "lambda r: r[0] + 1",
+            "lambda r: r.page",
+            "lambda a, b: a",
+            "lambda r: r[x]",
+        ):
+            assert projection_of_lambda(_lambda(src)) is None, src
+
+    def test_not_a_lambda(self):
+        assert projection_of_lambda(_lambda("'page'")) is None
+
+
+@pytest.fixture(scope="module")
+def summaries():
+    facts = facts_mod.collect(facts_mod.load_modules([SVM]))
+    findings, summaries = commute.analyze(facts)
+    assert findings == []
+    return summaries
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return commute.build_matrix()
+
+
+class TestRealTree:
+    """The real managers discharge every certification obligation."""
+
+    def test_every_op_attributed(self, summaries):
+        for s in summaries:
+            assert s.name
+            ops = s.footprints.ops
+            assert ops, s.class_name
+            for op, fp in ops.items():
+                assert fp.attributed, (s.class_name, op, fp.problems)
+
+    def test_declared_fanout_fully_proven(self, summaries):
+        for s in summaries:
+            assert s.fanout_declared, s.class_name
+            assert s.fanout_proven == s.fanout_declared, s.class_name
+
+    def test_dynamic_proves_hint(self, summaries):
+        dyn = next(s for s in summaries if s.name == "dynamic")
+        assert "svm.hint" in dyn.fanout_proven
+
+    def test_same_node_refinement_nonempty(self, summaries):
+        for s in summaries:
+            assert s.same_node_commutes, s.class_name
+            # update touches the frame pool's recency order on both
+            # sides, so even the refinement must not commute it with
+            # itself at one node.
+            assert ("svm.update", "svm.update") not in s.same_node_commutes
+
+
+class TestMatrix:
+    def test_shape(self, matrix):
+        assert matrix["version"] == commute.MATRIX_VERSION
+        assert ALGORITHMS <= set(matrix["algorithms"])
+        for entry in matrix["algorithms"].values():
+            for info in entry["ops"].values():
+                assert set(info) == {"attributed", "projection", "handler"}
+            assert set(entry["fanout_safe"]) <= set(entry["fanout_declared"])
+
+    def test_json_round_trip(self, matrix, tmp_path):
+        path = tmp_path / "matrix.json"
+        commute.save_matrix(matrix, str(path))
+        assert json.loads(path.read_text()) == matrix
+
+
+def _label(node: int, page, op: str, uid: int) -> str:
+    ptag = "p?" if page is None else f"p{page}"
+    return f"deliver:n{node}:{ptag}:req:{op}:o0.{uid}"
+
+
+class TestCertifiedIndependence:
+    ENTRY = {
+        "ops": {
+            "svm.read": {"attributed": True},
+            "svm.inv": {"attributed": True},
+            "svm.locate": {"attributed": True},
+            "svm.bad": {"attributed": False},
+        },
+        "fanout_safe": ["svm.inv", "svm.locate"],
+        "same_node_commutes": [["svm.inv", "svm.locate"]],
+    }
+
+    @pytest.fixture()
+    def rel(self):
+        return ex.CertifiedIndependence(self.ENTRY)
+
+    def test_cross_node_cross_page(self, rel):
+        assert rel(_label(0, 0, "svm.read", 1), _label(1, 1, "svm.read", 2))
+
+    def test_cross_node_same_page_needs_fanout(self, rel):
+        assert rel(_label(0, 0, "svm.inv", 1), _label(1, 0, "svm.locate", 2))
+        assert not rel(_label(0, 0, "svm.read", 1), _label(1, 0, "svm.inv", 2))
+
+    def test_same_node_needs_proven_pair(self, rel):
+        # In the matrix (either order), different pages: commutes.
+        assert rel(_label(2, 0, "svm.inv", 1), _label(2, 1, "svm.locate", 2))
+        assert rel(_label(2, 0, "svm.locate", 1), _label(2, 1, "svm.inv", 2))
+        # Same page at one node never commutes.
+        assert not rel(_label(2, 0, "svm.inv", 1), _label(2, 0, "svm.locate", 2))
+        # Pair not in the matrix.
+        assert not rel(_label(2, 0, "svm.read", 1), _label(2, 1, "svm.read", 2))
+
+    def test_unattributed_conflicts_with_everything(self, rel):
+        assert not rel(_label(0, 0, "svm.bad", 1), _label(1, 1, "svm.read", 2))
+
+    def test_unknown_page_or_label_conflicts(self, rel):
+        assert not rel(_label(0, None, "svm.read", 1), _label(1, 1, "svm.read", 2))
+        assert not rel("compute:n0", _label(1, 1, "svm.read", 2))
+        assert not rel(None, _label(1, 1, "svm.read", 2))
+
+    def test_refines_handcoded_on_real_matrix(self, matrix):
+        """Over the real matrix's op universe the certified relation
+        commutes everything the hand-coded one does, plus same-node
+        pairs the hand-coded relation refuses."""
+        entry = matrix["algorithms"]["dynamic"]
+        rel = ex.CertifiedIndependence(entry)
+        ops = sorted(entry["ops"])
+        labels = [
+            _label(node, page, op, uid)
+            for uid, (node, page, op) in enumerate(
+                (n, p, o) for n in (0, 1) for p in (0, 1) for o in ops
+            )
+        ]
+        strictly_finer = 0
+        for a in labels:
+            for b in labels:
+                if a == b:
+                    continue
+                if ex.independent(a, b):
+                    assert rel(a, b), (a, b)
+                elif rel(a, b):
+                    strictly_finer += 1
+        assert strictly_finer > 0
+
+    def test_certified_relation_loads_from_file(self, matrix, tmp_path):
+        path = tmp_path / "matrix.json"
+        commute.save_matrix(matrix, str(path))
+        rel = ex.certified_relation("fixed", str(path))
+        assert rel.name == "certified"
+
+    def test_unknown_algorithm_raises(self, matrix):
+        with pytest.raises(KeyError):
+            ex.certified_relation("nope", matrix)
+
+
+class TestEndToEnd:
+    def test_identical_verdicts_on_contended_sweep(self):
+        scenario = ex.Scenario(
+            algorithm="fixed", nodes=3, pages=1, workload="chown"
+        )
+        hand = ex.explore_dfs(scenario, max_schedules=2000)
+        cert = ex.explore_dfs(
+            scenario,
+            max_schedules=2000,
+            relation=ex.certified_relation("fixed"),
+        )
+        assert cert.relation == "certified"
+        assert hand.relation == "handcoded"
+        assert cert.schedules <= hand.schedules
+        assert cert.statuses == hand.statuses
+        assert cert.fingerprints == hand.fingerprints
+        # The real ops' extractors are certified: no runtime failures.
+        assert hand.extractor_errors == {}
+        assert cert.extractor_errors == {}
+
+    def test_result_and_artifact_carry_relation(self, tmp_path):
+        scenario = ex.Scenario(
+            algorithm="centralized", nodes=2, pages=1, workload="rw"
+        )
+        result = ex.explore_dfs(
+            scenario, relation=ex.certified_relation("centralized")
+        )
+        path = tmp_path / "ce.jsonl"
+        ex.save_counterexamples(
+            str(path), scenario, result.violations, relation=result.relation
+        )
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["relation"] == "certified"
+
+
+class TestBenchChecks:
+    def _bench(self, hand_schedules=4, cert_schedules=4, cert_hash="h"):
+        side = lambda n, h: {  # noqa: E731
+            "schedules": n,
+            "truncated": False,
+            "statuses": {"ok": n},
+            "states": 1,
+            "fingerprint_sha256": h,
+            "violations": [],
+        }
+        return {
+            "matrix": {},
+            "sweeps": {
+                "s": {
+                    "handcoded": side(hand_schedules, "h"),
+                    "certified": side(cert_schedules, cert_hash),
+                }
+            },
+        }
+
+    def test_clean_bench_passes(self):
+        assert eb.check_bench(self._bench()) == []
+
+    def test_certified_exceeding_handcoded_fails(self):
+        errors = eb.check_bench(self._bench(cert_schedules=5))
+        assert any("MORE schedules" in e for e in errors)
+
+    def test_verdict_mismatch_fails(self):
+        errors = eb.check_bench(self._bench(cert_hash="other"))
+        assert any("fingerprint_sha256" in e for e in errors)
+
+    def test_baseline_drift_fails(self):
+        current, baseline = self._bench(), self._bench(hand_schedules=8)
+        errors = eb.compare_bench(current, baseline)
+        assert any("drifted" in e for e in errors)
+        assert eb.compare_bench(current, self._bench()) == []

@@ -39,6 +39,12 @@ EXPECTED = {
     "no_reply_path.py": {"msg-no-reply-path"},
     "noreply_unicast.py": {"msg-noreply-unicast"},
     "dead_handler.py": {"msg-dead-handler"},
+    "missing_extractor.py": {"footprint-under-declared"},
+    "wrong_extractor.py": {"footprint-under-declared"},
+    "cross_page_write.py": {"footprint-unattributable"},
+    "fanout_global_write.py": {"fanout-unproven"},
+    "fanout_payload_write.py": {"footprint-unattributable", "fanout-unproven"},
+    "any_unguarded_reply.py": {"aggregation-order-sensitive"},
     "wallclock.py": {"det-wallclock"},
     "unseeded_random.py": {"det-unseeded-random"},
     "set_iteration.py": {"det-set-iteration"},

@@ -1,0 +1,129 @@
+"""Delivery-label grammar and footprint-extractor error accounting.
+
+``delivery_label`` (formatter) and ``parse_delivery_label`` (the single
+parser, which the explorer imports instead of re-deriving the grammar)
+live side by side in :mod:`repro.net.packet`; the property test pins
+them together so they cannot drift."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.packet import (
+    DeliveryLabel,
+    Message,
+    annotate_op,
+    delivery_label,
+    extractor_errors,
+    op_page,
+    parse_delivery_label,
+    reset_extractor_errors,
+)
+
+ops = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z0-9_]+)*", fullmatch=True)
+ids = st.integers(min_value=0, max_value=10**6)
+
+
+@pytest.fixture(autouse=True)
+def _clean_error_counts():
+    reset_extractor_errors()
+    yield
+    reset_extractor_errors()
+
+
+class TestLabelGrammar:
+    @given(
+        target=ids,
+        page=st.one_of(st.none(), ids),
+        kind=st.sampled_from(["req", "bcast"]),
+        op=ops,
+        origin=ids,
+        msg_id=ids,
+    )
+    def test_round_trip(self, target, page, kind, op, origin, msg_id):
+        ptag = "p?" if page is None else f"p{page}"
+        label = f"deliver:n{target}:{ptag}:{kind}:{op}:o{origin}.{msg_id}"
+        assert parse_delivery_label(label) == DeliveryLabel(
+            target, page, kind, op, origin, msg_id
+        )
+
+    @given(op=ops, page=ids, target=ids, origin=ids, msg_id=ids)
+    def test_formatter_output_parses(self, op, page, target, origin, msg_id):
+        op = f"t.{op}"  # keep the real ops' extractor registry untouched
+        annotate_op(op, lambda payload: payload)
+        msg = Message(0, target, "req", op, origin, msg_id, page, nbytes=32)
+        parsed = parse_delivery_label(delivery_label(target, msg))
+        assert parsed == DeliveryLabel(target, page, "req", op, origin, msg_id)
+
+    def test_replies_are_never_page_attributed(self):
+        annotate_op("t.owner", lambda payload: payload)
+        msg = Message(0, 1, "rep", "t.owner", 2, 7, 3, nbytes=32)
+        assert parse_delivery_label(delivery_label(1, msg)) == DeliveryLabel(
+            1, None, "rep", "t.owner", 2, 7
+        )
+
+    def test_non_delivery_labels_rejected(self):
+        for label in (None, "", "compute:n0", "deliver:n0:p1:req:op",
+                      "deliver:nx:p1:req:op:o0.1"):
+            assert parse_delivery_label(label) is None
+
+
+class TestExtractorErrors:
+    def test_raising_extractor_counts_and_warns_once(self):
+        annotate_op("t.bad", lambda payload: payload["page"])
+        with pytest.warns(RuntimeWarning, match="t.bad"):
+            assert op_page("t.bad", (1, 2)) is None
+        # Second failure: counted, but no second warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert op_page("t.bad", (1, 2)) is None
+        assert extractor_errors() == {"t.bad": 2}
+
+    def test_non_int_result_counts(self):
+        annotate_op("t.str", lambda payload: str(payload))
+        with pytest.warns(RuntimeWarning, match="non-page"):
+            assert op_page("t.str", 5) is None
+        assert extractor_errors() == {"t.str": 1}
+
+    def test_bool_is_not_a_page(self):
+        # True is an ack value; silently reading it as page 1 would let
+        # the explorer commute deliveries it has no proof about.
+        annotate_op("t.ack", lambda payload: payload)
+        with pytest.warns(RuntimeWarning):
+            assert op_page("t.ack", True) is None
+
+    def test_healthy_extractor_is_silent(self):
+        annotate_op("t.ok", lambda payload: payload)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert op_page("t.ok", 9) == 9
+        assert extractor_errors() == {}
+
+    def test_reset_clears_the_warn_latch(self):
+        annotate_op("t.again", lambda payload: payload / 0)
+        with pytest.warns(RuntimeWarning):
+            op_page("t.again", 1)
+        reset_extractor_errors()
+        with pytest.warns(RuntimeWarning):
+            op_page("t.again", 1)
+        assert extractor_errors() == {"t.again": 1}
+
+    def test_explorer_delta_only_counts_new_failures(self):
+        # The explorer snapshots the registry before exploring and
+        # reports only the failures its own runs produced.
+        from repro.analysis.explore import _extractor_error_delta
+
+        annotate_op("t.flaky", lambda payload: payload["page"])
+        with pytest.warns(RuntimeWarning):
+            op_page("t.flaky", ())
+        before = extractor_errors()
+        assert _extractor_error_delta(before) == {}
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            op_page("t.flaky", ())
+            op_page("t.flaky", ())
+        assert _extractor_error_delta(before) == {"t.flaky": 2}
