@@ -22,8 +22,10 @@ paper-versus-measured record of every table and figure.
 
 from repro.config import (
     ClusterConfig,
+    ConfigError,
     CpuConfig,
     DiskConfig,
+    FabricConfig,
     MemoryConfig,
     MICROSECOND,
     MILLISECOND,
@@ -39,7 +41,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ClusterConfig",
+    "ConfigError",
     "CpuConfig",
+    "FabricConfig",
     "RingConfig",
     "DiskConfig",
     "MemoryConfig",

@@ -111,6 +111,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         seed=args.seed,
         mutation=args.mutation or None,
         hint_period=args.hint_period,
+        fabric=args.fabric,
     )
     relation = None
     if args.relation == "certified":
@@ -300,6 +301,10 @@ def main(argv: list[str] | None = None) -> int:
     explore.add_argument(
         "--hint-period", type=int, default=0,
         help="dynamic manager hint-broadcast period (fan-out ties)",
+    )
+    explore.add_argument(
+        "--fabric", default="ring",
+        help="network backend to explore on: ring | switched",
     )
     explore.add_argument("--max-schedules", type=int, default=10_000)
     explore.add_argument("--max-events", type=int, default=50_000)

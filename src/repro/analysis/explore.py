@@ -111,6 +111,12 @@ class Scenario:
     #: transfer broadcast a hint refresh, whose fan-out deliveries are
     #: the richest source of same-tick ties.
     hint_period: int = 0
+    #: Network backend the scenario runs on (``FabricConfig.backend``).
+    #: The explorer is medium-agnostic — labels, drop numbering and the
+    #: oracle work identically — but the *tie structure* differs: the
+    #: switched fabric's concurrent links produce same-tick deliveries
+    #: the serialising ring cannot.
+    fabric: str = "ring"
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -121,6 +127,7 @@ class Scenario:
             "seed": self.seed,
             "mutation": self.mutation,
             "hint_period": self.hint_period,
+            "fabric": self.fabric,
         }
 
     @classmethod
@@ -133,6 +140,7 @@ class Scenario:
             seed=int(raw.get("seed", 1988)),
             mutation=raw.get("mutation"),
             hint_period=int(raw.get("hint_period", 0)),
+            fabric=raw.get("fabric", "ring"),
         )
 
 
@@ -144,7 +152,7 @@ def _build_cluster(scenario: Scenario) -> Cluster:
         page_size=PAGE_SIZE,
         shared_size=PAGE_SIZE * 64,
         dynamic_broadcast_period=scenario.hint_period,
-    )
+    ).with_fabric(backend=scenario.fabric)
     return Cluster(config)
 
 
@@ -365,8 +373,10 @@ class PctScheduler(RecordingScheduler):
 
 
 class _DropCounter:
-    """Deterministic :attr:`TokenRing.drop_policy`: numbers every frame
-    delivery attempt and drops the prescribed ones."""
+    """Deterministic :attr:`Fabric.drop_policy`: numbers every frame
+    delivery attempt and drops the prescribed ones (identically on any
+    backend — both fabrics consult the hook once per (msg, target) in
+    the same deterministic target order)."""
 
     def __init__(self, drops: Iterable[int]) -> None:
         self.drops = frozenset(drops)
@@ -448,7 +458,7 @@ def run_scenario(
     )
     cluster.sim.scheduler = sched
     dropper = _DropCounter(drops)
-    cluster.ring.drop_policy = dropper
+    cluster.fabric.drop_policy = dropper
 
     try:
         factory = WORKLOADS[scenario.workload]

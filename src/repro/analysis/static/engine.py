@@ -8,8 +8,10 @@ Three path sets, matching how strict each tree's contract is:
 - **protocol** (wait-for graph + message matrix + footprint/commute
   certification): ``repro/svm`` — the manager classes.
 - **determinism**: everything that executes inside simulated time —
-  ``repro/sim``, ``svm``, ``net``, ``proc``.  (``repro.obs`` profiles
-  the simulator itself with real clocks and is deliberately exempt.)
+  ``repro/sim``, ``svm``, ``net`` (including the ``repro.net.fabric``
+  backends, whose per-link timing arithmetic must be a pure function
+  of the seed), ``proc``.  (``repro.obs`` profiles the simulator
+  itself with real clocks and is deliberately exempt.)
 
 :func:`run_default` is the CI entry point (exhaustive, fixed paths);
 :func:`run_explicit` runs every analysis over caller-chosen paths (the

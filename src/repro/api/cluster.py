@@ -1,6 +1,6 @@
 """Cluster assembly: boots one complete simulated node stack per station.
 
-A :class:`Cluster` owns the simulator, the ring, and N
+A :class:`Cluster` owns the simulator, the network fabric, and N
 :class:`NodeContext` objects, each wiring together the full IVY stack of
 Figure 2 in the paper::
 
@@ -24,8 +24,8 @@ from repro.machine.memory import PhysicalMemory
 from repro.machine.mmu import AddressLayout
 from repro.machine.pager import Pager
 from repro.metrics.collect import Counters
+from repro.net.fabric import Fabric, make_fabric
 from repro.net.remoteop import RemoteOp
-from repro.net.ring import TokenRing
 from repro.net.transport import Transport
 from repro.obs import NULL_OBS, Observability
 from repro.sim.kernel import Simulator
@@ -120,10 +120,12 @@ class Cluster:
         self.layout = AddressLayout(
             config.svm.shared_base, config.svm.shared_size, config.svm.page_size
         )
-        self.ring = TokenRing(
-            self.sim, config.ring, config.nodes, self.rngs.stream("ring"), trace,
-            obs=self.obs,
+        self.fabric: Fabric = make_fabric(
+            self.sim, config, self.rngs, trace, obs=self.obs
         )
+        #: Historical alias — the medium was a TokenRing before fabrics
+        #: became pluggable, and a lot of code reads ``cluster.ring``.
+        self.ring = self.fabric
         self.nodes = [NodeContext(self, n) for n in range(config.nodes)]
         #: Online coherence oracle (set when ``config.checker`` is on).
         self.oracle: Any = None

@@ -22,8 +22,10 @@ __all__ = [
     "MICROSECOND",
     "MILLISECOND",
     "SECOND",
+    "ConfigError",
     "CpuConfig",
     "RingConfig",
+    "FabricConfig",
     "DiskConfig",
     "MemoryConfig",
     "SvmConfig",
@@ -31,6 +33,34 @@ __all__ = [
     "CheckerConfig",
     "ClusterConfig",
 ]
+
+
+class ConfigError(ValueError):
+    """A structured configuration error.
+
+    Raised when a config field names something the system does not
+    provide (e.g. an unknown network backend).  Carries the offending
+    ``field`` and ``value``, the ``known`` legal values, and — when one
+    of them is close enough to be a likely typo — an exact-name
+    ``suggestion``, so drivers can render a precise message and tests
+    can assert on structure instead of prose.
+    """
+
+    def __init__(
+        self,
+        field_name: str,
+        value: object,
+        known: tuple[str, ...],
+        suggestion: str | None = None,
+    ) -> None:
+        self.field = field_name
+        self.value = value
+        self.known = known
+        self.suggestion = suggestion
+        hint = f"; did you mean {suggestion!r}?" if suggestion else ""
+        super().__init__(
+            f"unknown {field_name} {value!r} (known: {', '.join(known)}){hint}"
+        )
 
 #: One microsecond of simulated time, in simulation ticks (nanoseconds).
 MICROSECOND = 1_000
@@ -83,6 +113,54 @@ class RingConfig:
     delivery_latency: int = 50 * MICROSECOND
     #: Probability that a frame is lost in transit (exercises the
     #: retransmission protocol; 0.0 for deterministic experiments).
+    loss_rate: float = 0.0
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Transmission-medium selection and the switched backend's cost model.
+
+    ``backend`` picks the medium every byte of cluster traffic rides:
+
+    - ``"ring"`` — the Apollo Domain shared-medium token ring
+      (:class:`RingConfig`; the paper's hardware and the default — all
+      committed golden schedules assume it);
+    - ``"switched"`` — a switched point-to-point interconnect
+      (:class:`repro.net.fabric.switched.SwitchedFabric`): every station
+      has a full-duplex link into a central crossbar, disjoint
+      source/destination pairs transmit concurrently, and contention is
+      per-port FIFO queueing instead of global serialisation.  Broadcast
+      is not free snooping — it is realised as an explicit multicast
+      tree whose relay hops pay real link occupancy.
+
+    The switched link parameters are mid-90s-plausible (a 100 Mbit/s
+    point-to-point fabric, ATM/Autonet-class): an order of magnitude
+    more per-link bandwidth than the 12 Mbit/s ring and no token
+    acquisition, but a per-hop switch traversal and a store-and-forward
+    cost at every multicast relay.
+    """
+
+    backend: str = "ring"
+    #: Per-link, per-direction bandwidth (full duplex: a station can
+    #: transmit and receive simultaneously).
+    link_bandwidth_bps: int = 100_000_000
+    #: Framing + arbitration per transmission on one link (no shared
+    #: token to wait for, so far below the ring's 150 us).
+    link_overhead: int = 30 * MICROSECOND
+    #: Maximum payload of a single link frame; larger messages fragment.
+    max_frame_bytes: int = 2048
+    #: Crossbar traversal latency between the source's egress link and
+    #: the destination's ingress link.
+    switch_latency: int = 10 * MICROSECOND
+    #: Receiver DMA latency after the frame leaves the ingress link.
+    delivery_latency: int = 20 * MICROSECOND
+    #: Store-and-forward cost at each relay of a multicast tree (the
+    #: host NIC re-injects the frame towards its children).
+    relay_cost: int = 40 * MICROSECOND
+    #: Fan-out of the multicast tree used for broadcast/multicast.
+    multicast_fanout: int = 4
+    #: Probability that a frame is lost at the final receiver (drawn per
+    #: target, matching the ring's per-receiver loss model).
     loss_rate: float = 0.0
 
 
@@ -239,6 +317,10 @@ class ClusterConfig:
     obs: bool = False
     cpu: CpuConfig = field(default_factory=CpuConfig)
     ring: RingConfig = field(default_factory=RingConfig)
+    #: Network-medium selection (``fabric.backend``) and the switched
+    #: backend's link cost model.  The default rides the token ring
+    #: above, keeping every committed golden schedule bit-for-bit.
+    fabric: FabricConfig = field(default_factory=FabricConfig)
     disk: DiskConfig = field(default_factory=DiskConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     svm: SvmConfig = field(default_factory=SvmConfig)
@@ -278,6 +360,13 @@ class ClusterConfig:
     def with_ring(self, **kw) -> "ClusterConfig":
         """Return a copy with ring sub-fields replaced."""
         return dataclasses.replace(self, ring=dataclasses.replace(self.ring, **kw))
+
+    def with_fabric(self, **kw) -> "ClusterConfig":
+        """Return a copy with fabric sub-fields replaced (e.g.
+        ``with_fabric(backend="switched")``)."""
+        return dataclasses.replace(
+            self, fabric=dataclasses.replace(self.fabric, **kw)
+        )
 
     def with_disk(self, **kw) -> "ClusterConfig":
         """Return a copy with disk sub-fields replaced."""

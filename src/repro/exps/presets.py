@@ -19,10 +19,26 @@ __all__ = [
     "fig5_procs",
     "pde_capacity",
     "sort_factory",
+    "scale_fig5",
+    "scale_fig4",
     "PAGE_BYTES",
+    "SCALE_PAGE_BYTES",
+    "SCALE_NODE_COUNTS",
 ]
 
 PAGE_BYTES = 1024
+
+#: Page size for the 64–256-node scale-out presets.  Two reasons it is
+#: larger than the paper's 1 KB: (a) the eventcount record — and thus a
+#: barrier's waiter table — must fit in one page (the paper's
+#: single-page simplification), which caps barriers at 41 waiters on
+#: 1 KB pages; 8 KB holds ~340, enough for a 256-node barrier.  (b) A
+#: hundred-node machine moving megabytes wants fewer, larger transfers.
+SCALE_PAGE_BYTES = 8192
+
+#: The scale-out sweep's node counts (powers of two past the ring's
+#: comfort zone).
+SCALE_NODE_COUNTS = (64, 128, 256)
 
 #: Figure 5 workloads as **picklable specs** — ``(registry app name,
 #: constructor kwargs)`` per program, consumable by the parallel runner
@@ -81,3 +97,64 @@ def pde_capacity(full: bool = False) -> tuple[Callable[[int], Pde3dApp], Cluster
 def sort_factory(full: bool = False) -> Callable[[int], MergeSplitSortApp]:
     nrecords = 8192 if full else 4096
     return lambda p: MergeSplitSortApp(p, nrecords=nrecords)
+
+
+# ---------------------------------------------------------------------------
+# 64–256-node scale-out presets (the pluggable-fabric sweep)
+
+
+def _scale_config(nodes: int, backend: str, frames: int | None = None) -> ClusterConfig:
+    from repro.config import SECOND
+
+    config = (
+        ClusterConfig(nodes=nodes)
+        .with_svm(page_size=SCALE_PAGE_BYTES)
+        .with_fabric(backend=backend)
+        # On the shared ring at hundreds of nodes, queueing delay behind
+        # the medium can exceed the default 500 ms retransmission
+        # timeout — the timer would then flood the medium with duplicate
+        # requests of messages that are merely queued, not lost.  The
+        # scale presets raise the timeout so retransmission stays what
+        # it is for: loss recovery.
+        .replace(retransmit_timeout=30 * SECOND)
+    )
+    if frames is not None:
+        config = config.with_memory(frames=frames, replacement="random")
+    return config
+
+
+def scale_fig5(nodes: int, backend: str) -> tuple[str, dict[str, int], ClusterConfig]:
+    """Figure-5-class communication-bound point at ``nodes`` stations.
+
+    Dot product with one scatter block per worker — the workload the
+    paper chose "to show the weak side" of SVM.  Traffic grows linearly
+    with nodes while per-node compute stays constant, so this preset is
+    a pure measure of how the medium absorbs offered load.
+
+    Returns a ``(app, app_args, config)`` spec for
+    :class:`repro.exps.parallel.Job`.
+    """
+    return "dotprod", {"n": 512 * nodes}, _scale_config(nodes, backend)
+
+
+#: Grid edge per node count for the fig4-class capacity preset.  Grows
+#: with the machine (more nodes -> bigger problem, the paper's scaled
+#: regime) but sub-linearly, keeping the serial sweep affordable.
+_SCALE_FIG4_M = {64: 64, 128: 96, 256: 128}
+
+
+def scale_fig4(nodes: int, backend: str) -> tuple[str, dict[str, int], ClusterConfig]:
+    """Figure-4-class capacity-bound point at ``nodes`` stations.
+
+    The 3-D PDE with per-node frames at 1.8 of one solution vector's
+    pages — the data set exceeds any single memory and lives spread
+    across the cluster, so every iteration moves slabs and ghost planes
+    over the fabric.
+
+    Returns a ``(app, app_args, config)`` spec for
+    :class:`repro.exps.parallel.Job`.
+    """
+    m = _SCALE_FIG4_M.get(nodes, max(32, min(128, nodes)))
+    vector_pages = (m**3 * 8 + SCALE_PAGE_BYTES - 1) // SCALE_PAGE_BYTES
+    config = _scale_config(nodes, backend, frames=int(1.8 * vector_pages))
+    return "pde3d", {"m": m, "iters": 2}, config

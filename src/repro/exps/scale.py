@@ -1,0 +1,190 @@
+"""Scale-out benchmark: ring vs switched fabric at 64–256 nodes (``BENCH_scale.json``).
+
+The pluggable-fabric question in one artifact: how much simulated
+throughput does a switched point-to-point interconnect buy over the
+paper's shared token ring as the cluster grows past the ring's design
+point?  Two workload classes per (node count, backend) point, both from
+:mod:`repro.exps.presets`:
+
+- **fig5-class** (``scale_fig5``): communication-bound dot product,
+  offered load growing linearly with nodes;
+- **fig4-class** (``scale_fig4``): capacity-bound 3-D PDE whose data
+  set exceeds any single node's memory.
+
+The headline metric is **events per simulated second** —
+``events_executed / (time_ns / 1e9)``.  Both numerator and denominator
+are exact products of the deterministic simulation, so the metric is
+bit-reproducible across hosts: on the serialising ring, simulated time
+balloons with queueing delay while the event count barely moves, so the
+ring's events/s collapses as nodes grow; the switched fabric's
+concurrent links keep it up.  ``--check`` therefore compares *exactly*
+(no tolerance) and additionally asserts the crossover claim: switched
+throughput beats ring at every measured node count >= 64.
+
+::
+
+    python -m repro.exps.scale --out BENCH_scale.json
+    python -m repro.exps.scale --nodes 64 --check BENCH_scale.json   # CI smoke
+
+Runs are driven through :func:`repro.exps.parallel.run_jobs` — each
+point is an independent deterministic simulation, so the sweep
+parallelises across cores where available and falls back to a serial
+loop on single-core machines, with identical numbers either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Sequence
+
+from repro.exps.parallel import Job, run_jobs
+from repro.exps.presets import SCALE_NODE_COUNTS, scale_fig4, scale_fig5
+from repro.metrics.speedup import RunResult
+
+__all__ = ["scale_jobs", "run_scale", "check_scale", "main"]
+
+BACKENDS = ("ring", "switched")
+
+CLASSES = {"fig5": scale_fig5, "fig4": scale_fig4}
+
+
+def scale_jobs(nodes_list: Sequence[int] = SCALE_NODE_COUNTS) -> list[Job]:
+    """One :class:`Job` per workload class x node count x backend."""
+    jobs: list[Job] = []
+    for klass, preset in CLASSES.items():
+        for nodes in nodes_list:
+            for backend in BACKENDS:
+                app, app_args, config = preset(nodes, backend)
+                jobs.append(
+                    Job(
+                        app,
+                        app_args,
+                        nprocs=nodes,
+                        config=config,
+                        check=True,
+                        key=f"{klass}/n{nodes}/{backend}",
+                    )
+                )
+    return jobs
+
+
+def _events_per_sim_sec(result: RunResult) -> float:
+    return result.events_executed / (result.time_ns / 1e9)
+
+
+def run_scale(
+    nodes_list: Sequence[int] = SCALE_NODE_COUNTS,
+    workers: int | None = None,
+) -> dict[str, Any]:
+    jobs = scale_jobs(nodes_list)
+    results = run_jobs(jobs, workers=workers)
+    runs: dict[str, Any] = {}
+    for job, result in zip(jobs, results):
+        runs[str(job.key)] = {
+            "nodes": result.nprocs,
+            "fabric": result.fabric,
+            "time_ns": result.time_ns,
+            "events": result.events_executed,
+            "events_per_sim_sec": round(_events_per_sim_sec(result), 1),
+            "medium": {
+                k: result.ring_stats[k]
+                for k in ("messages", "broadcasts", "bytes_sent", "busy_ns")
+            },
+        }
+    return {
+        "schema": "repro.scale/1",
+        "measurement": (
+            "events per simulated second (deterministic: both event count "
+            "and simulated time are exact), per workload class x node "
+            "count x fabric backend"
+        ),
+        "runs": runs,
+    }
+
+
+def check_scale(doc: dict[str, Any], baseline: dict[str, Any]) -> list[str]:
+    """Compare a fresh (possibly partial) sweep against the committed file.
+
+    Every measured run must exist in the baseline with *identical*
+    ``events`` and ``time_ns`` — these are deterministic, so any drift
+    is a behaviour change and the artifact must be regenerated
+    deliberately.  On top of that the sweep's claim is re-asserted from
+    the fresh numbers: at every measured node count, the switched
+    fabric's events/s must beat the ring's for both workload classes.
+    """
+    problems: list[str] = []
+    for name, run in doc["runs"].items():
+        base = baseline["runs"].get(name)
+        if base is None:
+            problems.append(f"{name}: not in the committed baseline")
+            continue
+        for field in ("events", "time_ns"):
+            if run[field] != base[field]:
+                problems.append(
+                    f"{name}: {field} {run[field]} != baseline {base[field]} "
+                    "(behaviour drift — regenerate BENCH_scale.json deliberately)"
+                )
+    pairs: dict[tuple[str, int], dict[str, float]] = {}
+    for name, run in doc["runs"].items():
+        klass = name.split("/", 1)[0]
+        pairs.setdefault((klass, run["nodes"]), {})[run["fabric"]] = run[
+            "events_per_sim_sec"
+        ]
+    for (klass, nodes), by_fabric in sorted(pairs.items()):
+        if nodes < 64 or len(by_fabric) < 2:
+            continue
+        if by_fabric["switched"] <= by_fabric["ring"]:
+            problems.append(
+                f"{klass}/n{nodes}: switched {by_fabric['switched']} ev/s "
+                f"does not beat ring {by_fabric['ring']} ev/s"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exps.scale", description=__doc__
+    )
+    parser.add_argument(
+        "--nodes", type=int, nargs="+", default=list(SCALE_NODE_COUNTS),
+        help="node counts to sweep (default: 64 128 256)",
+    )
+    parser.add_argument("--out", default=None, help="output JSON path")
+    parser.add_argument(
+        "--check", metavar="BASELINE",
+        help="compare against a committed BENCH_scale.json; exit 1 on drift "
+        "or if switched fails to beat ring at any measured count >= 64",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel runner processes (default: cpu count)",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_scale(args.nodes, workers=args.workers)
+    for name, run in doc["runs"].items():
+        print(
+            f"{name}: {run['time_ns'] / 1e9:.2f} s simulated, "
+            f"{run['events']} events, {run['events_per_sim_sec']} ev/sim-s"
+        )
+    if args.check:
+        with open(args.check, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        problems = check_scale(doc, baseline)
+        for problem in problems:
+            print(f"SCALE CHECK FAILED: {problem}")
+        if problems:
+            return 1
+        print(f"scale check passed against {args.check}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,8 +32,15 @@ class RunResult:
     nprocs: int
     time_ns: int
     counters: Counters
+    #: Flat medium counters (``FabricStats.snapshot()``).  The field
+    #: name predates pluggable fabrics; the keys depend on ``fabric``.
     ring_stats: dict[str, int]
     result: Any = None
+    #: Which network backend carried the run's traffic.
+    fabric: str = "ring"
+    #: Simulator events executed (the deterministic work measure that
+    #: ``repro.exps.scale`` turns into events per simulated second).
+    events_executed: int = 0
 
 
 @dataclass
@@ -88,8 +95,10 @@ def run_app(
         nprocs=nprocs,
         time_ns=ivy.time_ns,
         counters=ivy.cluster.total_counters(),
-        ring_stats=ivy.cluster.ring.stats.snapshot(),
+        ring_stats=ivy.cluster.fabric.stats.snapshot(),
         result=result,
+        fabric=ivy.cluster.fabric.name,
+        events_executed=ivy.cluster.sim.events_executed,
     )
 
 

@@ -1,14 +1,19 @@
-"""Network substrate: the Apollo Domain token ring and IVY's remote-operation layer.
+"""Network substrate: pluggable fabrics and IVY's remote-operation layer.
 
 Layering (bottom-up), mirroring the prototype:
 
-- `repro.net.ring` — the 12 Mbit/s shared-medium token ring: transmissions
-  from all nodes serialise, broadcasts are a single transmission heard by
-  every other station, frames can be lost.
+- `repro.net.fabric` — the transmission-medium abstraction (`Fabric`,
+  `FabricStats`, `make_fabric`) with two backends: `repro.net.ring`,
+  the 12 Mbit/s shared-medium token ring where transmissions from all
+  nodes serialise and broadcasts are heard by snooping, and
+  `repro.net.fabric.switched`, a crossbar-switched point-to-point
+  interconnect with concurrent disjoint links and multicast-tree
+  broadcast.
 - `repro.net.transport` — reliable request/reply with the paper's
   "resend replies only when necessary" retransmission philosophy:
   duplicate requests are answered from a reply cache, execution is
   at-most-once, and every message piggybacks the sender's load hint.
+  Backend-agnostic: identical on either fabric.
 - `repro.net.remoteop` — IVY's remote operation module: registered
   operation handlers, the *forwarding* mechanism (a request hops
   processor-to-processor and only the final executor replies to the
@@ -16,9 +21,24 @@ Layering (bottom-up), mirroring the prototype:
   broadcast with the paper's three reply schemes (any / all / none).
 """
 
+from repro.net.fabric import FABRIC_BACKENDS, Fabric, FabricStats, LinkStats, make_fabric
+from repro.net.fabric.switched import SwitchedFabric
 from repro.net.packet import BROADCAST, Message
 from repro.net.ring import TokenRing
 from repro.net.transport import Transport
 from repro.net.remoteop import Forward, RemoteOp
 
-__all__ = ["BROADCAST", "Message", "TokenRing", "Transport", "RemoteOp", "Forward"]
+__all__ = [
+    "BROADCAST",
+    "FABRIC_BACKENDS",
+    "Fabric",
+    "FabricStats",
+    "Forward",
+    "LinkStats",
+    "Message",
+    "RemoteOp",
+    "SwitchedFabric",
+    "TokenRing",
+    "Transport",
+    "make_fabric",
+]

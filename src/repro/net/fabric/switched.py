@@ -1,0 +1,250 @@
+"""A switched point-to-point interconnect with multicast-tree broadcast.
+
+Where the token ring serialises *all* traffic behind one shared medium,
+the switched fabric gives every station a full-duplex link into a
+central crossbar: disjoint source/destination pairs communicate
+concurrently, and contention is local — per-port FIFO queueing on the
+sender's egress (tx) link and the receiver's ingress (rx) link — rather
+than global.  This is the Autonet/ATM-class topology of the mid-90s
+multicomputer evaluations, and it is what lets the reproduction scale
+past the ring's hard O(N) wall to hundred-node runs.
+
+One unicast transmission is three hops, all computed arithmetically at
+``send`` time (no intermediate simulator events — only the final
+delivery is an event, exactly like the ring):
+
+1. **egress** — the frame waits for the source's tx port
+   (``start_tx = max(ready, tx_free[src])``), then occupies it for
+   ``occupancy_ns(nbytes)``;
+2. **crossbar** — a fixed ``switch_latency`` between the egress and
+   ingress links;
+3. **ingress** — the frame waits for the destination's rx port, then
+   occupies it for the same occupancy, followed by ``delivery_latency``
+   of receiver DMA.
+
+Broadcast is **not** free snooping: it is an explicit k-ary multicast
+tree over the targets in sorted station order.  The source feeds the
+first ``k`` targets directly; the target at tree position ``p`` relays
+to positions ``k*(p+1) .. k*(p+1)+k-1``, becoming ready to forward
+``relay_cost`` after its own frame arrives.  Every relay transmission
+pays real egress/ingress occupancy, so broadcast-manager algorithms are
+charged genuine fan-out cost.
+
+Loss semantics match the ring: the drop decision (explorer
+``drop_policy`` first, then the random draw) is made once per *final
+target* in sorted order, and a drop suppresses only that station's
+delivery event — the NIC-level tree forwarding has already happened by
+the time host software loses the frame, so timing and port bookkeeping
+are independent of loss and the transport's retransmission protocol
+recovers exactly the dropped receiver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import FabricConfig
+from repro.net.fabric import Fabric, LinkStats
+from repro.net.packet import BROADCAST, Message
+from repro.obs import NULL_OBS, Observability
+from repro.sim.kernel import Simulator
+from repro.sim.trace import NULL_TRACE, TraceRecorder
+
+__all__ = ["SwitchedFabric", "SwitchedStats"]
+
+
+class SwitchedStats:
+    """Aggregate and per-port statistics for the switched fabric.
+
+    The flat counters mirror :class:`repro.net.ring.RingStats` so every
+    existing consumer works unchanged; ``busy_ns`` here is *summed link
+    occupancy* across all ports (it can exceed wall-clock time — that
+    is the concurrency the crossbar buys).  ``relays`` counts multicast
+    tree re-transmissions, the real cost of broadcast off-ring.
+    """
+
+    __slots__ = (
+        "messages",
+        "broadcasts",
+        "bytes_sent",
+        "busy_ns",
+        "lost_frames",
+        "relays",
+        "_tx",
+        "_rx",
+    )
+
+    def __init__(self, nnodes: int) -> None:
+        self.messages = 0
+        self.broadcasts = 0
+        self.bytes_sent = 0
+        self.busy_ns = 0
+        self.lost_frames = 0
+        self.relays = 0
+        self._tx = [LinkStats() for _ in range(nnodes)]
+        self._rx = [LinkStats() for _ in range(nnodes)]
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "messages": self.messages,
+            "broadcasts": self.broadcasts,
+            "bytes_sent": self.bytes_sent,
+            "busy_ns": self.busy_ns,
+            "lost_frames": self.lost_frames,
+            "relays": self.relays,
+        }
+
+    def links(self) -> dict[str, LinkStats]:
+        out: dict[str, LinkStats] = {}
+        for i, link in enumerate(self._tx):
+            out[f"tx[{i}]"] = link
+        for i, link in enumerate(self._rx):
+            out[f"rx[{i}]"] = link
+        return out
+
+
+class SwitchedFabric(Fabric):
+    """Crossbar-switched point-to-point network of ``nnodes`` stations."""
+
+    name = "switched"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: FabricConfig,
+        nnodes: int,
+        rng: np.random.Generator | None = None,
+        trace: TraceRecorder = NULL_TRACE,
+        obs: Observability = NULL_OBS,
+    ) -> None:
+        super().__init__(sim, nnodes, trace, obs)
+        self.config = config
+        self.rng = rng
+        #: Loss is configured once; a lossless fabric skips the per-target
+        #: random draw entirely.
+        self._lossy = config.loss_rate > 0.0 and rng is not None
+        self.stats: SwitchedStats = SwitchedStats(nnodes)
+        #: Per-station port bookings: the absolute time each egress/
+        #: ingress link becomes free.  FIFO queueing falls out of always
+        #: booking at ``max(ready, free_at)``.
+        self._tx_free = [0] * nnodes
+        self._rx_free = [0] * nnodes
+
+    # ------------------------------------------------------------------
+
+    def occupancy_ns(self, nbytes: int) -> int:
+        """Link time one message of ``nbytes`` occupies one port for."""
+        cfg = self.config
+        fragments = max(1, -(-nbytes // cfg.max_frame_bytes))  # ceil div
+        wire = (nbytes * 8 * 1_000_000_000) // cfg.link_bandwidth_bps
+        return fragments * cfg.link_overhead + wire
+
+    def _hop(self, src: int, dst: int, ready: int, occupancy: int) -> int:
+        """Transmit one frame ``src -> dst`` starting no earlier than
+        ``ready``; book both ports and return the delivery time."""
+        cfg = self.config
+        stats = self.stats
+        tx_free = self._tx_free[src]
+        start_tx = ready if ready >= tx_free else tx_free
+        self._tx_free[src] = start_tx + occupancy
+        tx_link = stats._tx[src]
+        tx_link.messages += 1
+        tx_link.busy_ns += occupancy
+        backlog = start_tx - ready
+        if backlog > tx_link.peak_backlog_ns:
+            tx_link.peak_backlog_ns = backlog
+        if self._obs_on:
+            # Egress queueing delay — the switched fabric's analogue of
+            # the ring's shared-medium wait (histogrammed in ns).
+            self.obs.observe("fabric.queue_ns", backlog)
+
+        at_switch = start_tx + occupancy + cfg.switch_latency
+        rx_free = self._rx_free[dst]
+        start_rx = at_switch if at_switch >= rx_free else rx_free
+        self._rx_free[dst] = start_rx + occupancy
+        rx_link = stats._rx[dst]
+        rx_link.messages += 1
+        rx_link.busy_ns += occupancy
+        backlog = start_rx - at_switch
+        if backlog > rx_link.peak_backlog_ns:
+            rx_link.peak_backlog_ns = backlog
+
+        stats.busy_ns += 2 * occupancy
+        return start_rx + occupancy + cfg.delivery_latency
+
+    # ------------------------------------------------------------------
+
+    def send(self, msg: Message) -> None:
+        """Queue ``msg`` for transmission; delivery is scheduled events.
+
+        Returns immediately (the sending *software* cost is charged by
+        the transport layer, not here — the medium only models wire
+        time)."""
+        if msg.dst != BROADCAST and not 0 <= msg.dst < self.nnodes:
+            raise ValueError(f"destination {msg.dst} out of range")
+        if msg.dst == msg.src:
+            raise ValueError("a station does not transmit to itself")
+        now = self.sim.now
+        occupancy = self.occupancy_ns(msg.nbytes)
+        stats = self.stats
+        stats.messages += 1
+
+        if msg.dst == BROADCAST:
+            stats.broadcasts += 1
+            targets = [n for n in range(self.nnodes) if n != msg.src]
+            arrivals = self._multicast(msg, targets, now, occupancy)
+        else:
+            targets = [msg.dst]
+            stats.bytes_sent += msg.nbytes
+            arrivals = [self._hop(msg.src, msg.dst, now, occupancy)]
+
+        if self.trace:
+            self.trace.emit(
+                "fabric.send", src=msg.src, dst=msg.dst, op=msg.op,
+                kind=msg.kind, nbytes=msg.nbytes, arrival=arrivals[-1],
+            )
+        drop_policy = self.drop_policy
+        for target, arrival in zip(targets, arrivals):
+            forced = drop_policy is not None and drop_policy(msg, target)
+            if forced or (self._lossy and self._drop()):
+                stats.lost_frames += 1
+                if self.trace:
+                    self.trace.emit(
+                        "fabric.drop", src=msg.src, dst=target, op=msg.op
+                    )
+                continue
+            self._schedule_delivery(arrival, target, msg)
+
+    def _multicast(
+        self, msg: Message, targets: list[int], now: int, occupancy: int
+    ) -> list[int]:
+        """Book the k-ary multicast tree over ``targets`` (already in
+        sorted station order) and return each target's arrival time.
+
+        Tree position ``p < k`` is fed directly by the source; position
+        ``p >= k`` is fed by the target at position ``p // k - 1``, which
+        becomes ready to forward ``relay_cost`` after its own arrival.
+        Parents always occupy earlier positions, so one forward pass
+        computes the whole tree.
+        """
+        cfg = self.config
+        k = cfg.multicast_fanout
+        stats = self.stats
+        arrivals: list[int] = []
+        for pos, target in enumerate(targets):
+            if pos < k:
+                sender, ready = msg.src, now
+            else:
+                parent = pos // k - 1
+                sender = targets[parent]
+                ready = arrivals[parent] + cfg.relay_cost
+                stats.relays += 1
+            stats.bytes_sent += msg.nbytes
+            arrivals.append(self._hop(sender, target, ready, occupancy))
+        return arrivals
+
+    def _drop(self) -> bool:
+        loss = self.config.loss_rate
+        if loss <= 0.0 or self.rng is None:
+            return False
+        return bool(self.rng.random() < loss)

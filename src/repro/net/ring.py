@@ -12,16 +12,19 @@ Broadcast is native on a ring: a single transmission is heard by every
 other station (the paper exploits this for owner location and
 invalidation).  Frame loss is drawn per *receiver*, which exercises the
 transport's retransmission protocol.
+
+The ring is the first — and default — implementation of the
+:class:`repro.net.fabric.Fabric` medium interface; see
+:mod:`repro.net.fabric.switched` for the point-to-point alternative.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 
 from repro.config import RingConfig
-from repro.net.packet import BROADCAST, Message, delivery_label
+from repro.net.fabric import Fabric, LinkStats
+from repro.net.packet import BROADCAST, Message
 from repro.obs import NULL_OBS, Observability
 from repro.sim.kernel import Simulator
 from repro.sim.trace import NULL_TRACE, TraceRecorder
@@ -30,9 +33,23 @@ __all__ = ["TokenRing", "RingStats"]
 
 
 class RingStats:
-    """Aggregate medium statistics."""
+    """Aggregate medium statistics for the shared ring.
 
-    __slots__ = ("messages", "broadcasts", "bytes_sent", "busy_ns", "lost_frames")
+    A shared medium is a single link, so the
+    :class:`~repro.net.fabric.FabricStats` per-link view
+    (:meth:`links`) exposes exactly one entry named ``"medium"``;
+    ``peak_backlog_ns`` is the worst queueing delay any transmission
+    ever saw behind it.
+    """
+
+    __slots__ = (
+        "messages",
+        "broadcasts",
+        "bytes_sent",
+        "busy_ns",
+        "lost_frames",
+        "peak_backlog_ns",
+    )
 
     def __init__(self) -> None:
         self.messages = 0
@@ -40,13 +57,23 @@ class RingStats:
         self.bytes_sent = 0
         self.busy_ns = 0
         self.lost_frames = 0
+        self.peak_backlog_ns = 0
 
     def snapshot(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
 
+    def links(self) -> dict[str, LinkStats]:
+        medium = LinkStats()
+        medium.busy_ns = self.busy_ns
+        medium.messages = self.messages
+        medium.peak_backlog_ns = self.peak_backlog_ns
+        return {"medium": medium}
 
-class TokenRing:
+
+class TokenRing(Fabric):
     """A serialised shared-medium network connecting ``nnodes`` stations."""
+
+    name = "ring"
 
     def __init__(
         self,
@@ -57,39 +84,16 @@ class TokenRing:
         trace: TraceRecorder = NULL_TRACE,
         obs: Observability = NULL_OBS,
     ) -> None:
-        if nnodes < 1:
-            raise ValueError("ring needs at least one station")
-        self.sim = sim
+        super().__init__(sim, nnodes, trace, obs)
         self.config = config
-        self.nnodes = nnodes
         self.rng = rng
-        self.trace = trace
-        self.obs = obs
-        #: ``enabled`` is fixed at construction; caching the truth value
-        #: saves a __bool__ dispatch on every send.
-        self._obs_on = bool(obs)
         #: Loss is configured once; a lossless ring skips the per-target
         #: random draw entirely.
         self._lossy = config.loss_rate > 0.0 and rng is not None
-        self.stats = RingStats()
-        self._receivers: dict[int, Callable[[Message], None]] = {}
+        self.stats: RingStats = RingStats()
         self._free_at = 0  # medium is idle from this time onward
-        #: Deterministic drop hook for the schedule explorer's delay-
-        #: injection strategy: consulted once per (msg, target) delivery
-        #: attempt *before* the random loss draw; returning True drops the
-        #: frame (the transport's retransmission protocol recovers it,
-        #: creating the delayed/reordered delivery being explored).
-        self.drop_policy: Callable[[Message, int], bool] | None = None
 
     # ------------------------------------------------------------------
-
-    def attach(self, node_id: int, receiver: Callable[[Message], None]) -> None:
-        """Register the delivery callback for a station."""
-        if not 0 <= node_id < self.nnodes:
-            raise ValueError(f"station {node_id} out of range")
-        if node_id in self._receivers:
-            raise ValueError(f"station {node_id} already attached")
-        self._receivers[node_id] = receiver
 
     def occupancy_ns(self, nbytes: int) -> int:
         """Medium time consumed by one message of ``nbytes``."""
@@ -113,10 +117,11 @@ class TokenRing:
         now = self.sim.now
         free_at = self._free_at
         start = now if now >= free_at else free_at
+        backlog = start - now
         if self._obs_on:
             # Queueing delay behind the shared medium — the contention
             # that caps dot-product's speedup (histogrammed in ns).
-            self.obs.observe("ring.queue_ns", start - now)
+            self.obs.observe("ring.queue_ns", backlog)
         occupancy = self.occupancy_ns(msg.nbytes)
         self._free_at = free_at = start + occupancy
         arrival = free_at + self.config.delivery_latency
@@ -125,6 +130,8 @@ class TokenRing:
         stats.messages += 1
         stats.bytes_sent += msg.nbytes
         stats.busy_ns += occupancy
+        if backlog > stats.peak_backlog_ns:
+            stats.peak_backlog_ns = backlog
         if msg.dst == BROADCAST:
             stats.broadcasts += 1
             targets = [n for n in range(self.nnodes) if n != msg.src]
@@ -135,35 +142,18 @@ class TokenRing:
                 "ring.send", src=msg.src, dst=msg.dst, op=msg.op,
                 kind=msg.kind, nbytes=msg.nbytes, arrival=arrival,
             )
-        sim = self.sim
-        controlled = sim.scheduler is not None
         drop_policy = self.drop_policy
         for target in targets:
             forced = drop_policy is not None and drop_policy(msg, target)
             if forced or (self._lossy and self._drop()):
-                self.stats.lost_frames += 1
+                stats.lost_frames += 1
                 if self.trace:
                     self.trace.emit("ring.drop", src=msg.src, dst=target, op=msg.op)
                 continue
-            if controlled:
-                # Labels matter only to an installed Scheduler; building
-                # one per delivery is measurable on the hot path, so skip
-                # it on uncontrolled runs.
-                sim.schedule_at_nocancel(
-                    arrival, self._deliver, target, msg,
-                    label=delivery_label(target, msg),
-                )
-            else:
-                sim.schedule_at_nocancel(arrival, self._deliver, target, msg)
+            self._schedule_delivery(arrival, target, msg)
 
     def _drop(self) -> bool:
         loss = self.config.loss_rate
         if loss <= 0.0 or self.rng is None:
             return False
         return bool(self.rng.random() < loss)
-
-    def _deliver(self, target: int, msg: Message) -> None:
-        receiver = self._receivers.get(target)
-        if receiver is None:
-            raise RuntimeError(f"no receiver attached at station {target}")
-        receiver(msg)

@@ -1,4 +1,9 @@
-"""Reliable request/reply transport over the token ring.
+"""Reliable request/reply transport over the network fabric.
+
+The transport is backend-agnostic: it speaks to the medium only through
+the :class:`repro.net.fabric.Fabric` interface, so retransmission, the
+reply cache, forwarding and the delivery-label grammar behave
+identically on the token ring and the switched fabric.
 
 Implements the paper's retransmission philosophy: *resend replies only
 when necessary*.  A server caches the reply of every executed request;
@@ -33,8 +38,8 @@ from __future__ import annotations
 from typing import Any, Callable, Generator
 
 from repro.config import MICROSECOND, ClusterConfig
+from repro.net.fabric import Fabric
 from repro.net.packet import BROADCAST, HEADER_BYTES, Message, delivery_label, op_page
-from repro.net.ring import TokenRing
 from repro.sim.kernel import CancelHandle, Simulator
 from repro.sim.process import Compute, Effect, SimDriver
 from repro.sim.sync import Gate
@@ -106,13 +111,17 @@ class Transport:
         self,
         sim: Simulator,
         driver: SimDriver,
-        ring: TokenRing,
+        ring: Fabric,
         node_id: int,
         config: ClusterConfig,
         trace: TraceRecorder = NULL_TRACE,
     ) -> None:
         self.sim = sim
         self.driver = driver
+        #: The transmission medium.  Kept under the historical name
+        #: ``ring`` (the attribute predates pluggable fabrics) but typed
+        #: against the backend-agnostic Fabric interface — retransmission
+        #: and labelling below never assume a shared medium.
         self.ring = ring
         self.node_id = node_id
         self.config = config

@@ -11,6 +11,15 @@ The price is that *every* fault interrupts *every* processor — fine on
 a handful of workstations, linearly worse as the ring grows.  The
 manager ablation quantifies this against the centralized, fixed and
 dynamic algorithms.
+
+How much a broadcast *costs* is the fabric's business
+(:mod:`repro.net.fabric`).  On the paper's token ring it is free
+snooping — one rotation of the shared medium reaches everyone.  On the
+switched backend the same ``send(BROADCAST)`` becomes an explicit
+multicast tree: every edge re-transmits the full frame and relay hops
+add latency, so this manager pays its true fan-out cost there (the
+``golden_switched.json`` determinism fixtures pin it).  Nothing in
+this module knows the difference — it just broadcasts.
 """
 
 from __future__ import annotations

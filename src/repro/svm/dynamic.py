@@ -44,6 +44,10 @@ class DynamicDistributedProtocol(CoherenceProtocol):
     from the same analysis is enabled: after every M ownership transfers
     of a page, its new owner broadcasts the fresh ownership (no-reply
     scheme) so every stale probOwner chain collapses to length one.
+    (The refinement's economics depend on the fabric: ring snooping
+    makes the refresh nearly free, while the switched backend's
+    multicast tree charges a transmission per receiver — see
+    :mod:`repro.net.fabric`.)
     """
 
     name = "dynamic"

@@ -1,0 +1,22 @@
+"""Seeded bug: a fabric backend drawing frame loss from OS entropy.
+
+The fabric contract (``repro.net.fabric``) requires loss to come from a
+named, cluster-seed-derived rng stream so lossy runs replay exactly.
+Reaching for ``np.random.default_rng()`` with no seed makes every run's
+drop pattern — and therefore every downstream schedule — unique.
+"""
+
+import numpy as np
+
+
+class EntropyFabric:
+    name = "entropy"
+
+    def __init__(self, sim, nnodes):
+        self.sim = sim
+        self.nnodes = nnodes
+        self._rng = np.random.default_rng()
+        self.loss_rate = 0.01
+
+    def _drop(self):
+        return self._rng.random() < self.loss_rate

@@ -47,6 +47,7 @@ EXPECTED = {
     "any_unguarded_reply.py": {"aggregation-order-sensitive"},
     "wallclock.py": {"det-wallclock"},
     "unseeded_random.py": {"det-unseeded-random"},
+    "fabric_unseeded_loss.py": {"det-unseeded-random"},
     "set_iteration.py": {"det-set-iteration"},
     "id_order.py": {"det-id-order"},
 }
@@ -55,6 +56,23 @@ EXPECTED = {
 def test_corpus_is_fully_mapped():
     on_disk = {p.name for p in (CORPUS / "mutations").glob("*.py")}
     assert on_disk == set(EXPECTED)
+
+
+def test_determinism_lint_covers_the_fabric_backends():
+    """The fabric subpackage executes inside simulated time, so the
+    default determinism sweep must load it — a backend that slipped out
+    of DETERMINISM_PATHS could reintroduce wallclock/entropy silently."""
+    from repro.analysis.static import facts as facts_mod
+    from repro.analysis.static.engine import DETERMINISM_PATHS
+
+    paths = [str(REPO_ROOT / p) for p in DETERMINISM_PATHS]
+    loaded = {Path(m.path).as_posix() for m in facts_mod.load_modules(paths)}
+    for tail in (
+        "repro/net/fabric/__init__.py",
+        "repro/net/fabric/switched.py",
+        "repro/net/ring.py",
+    ):
+        assert any(p.endswith(tail) for p in loaded), tail
 
 
 @pytest.mark.parametrize("name", sorted(EXPECTED))
