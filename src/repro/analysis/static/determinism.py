@@ -9,7 +9,9 @@ silently break that contract inside the simulated world
     ``time.time()``/``monotonic()``/``perf_counter()`` and
     ``datetime.now()`` read the host clock; simulated code must read
     ``sim.now``.  (Profiling of the *simulator itself* lives in
-    ``repro.obs`` and is exempt by path.)
+    ``repro.obs`` and is exempt by path — except the deterministic
+    timeline/sampling/SLO modules, whose exports CI asserts
+    bit-for-bit and which are therefore opted back in.)
 
 ``det-unseeded-random``
     the global ``random`` module, ``random.Random()``,

@@ -10,8 +10,11 @@ Three path sets, matching how strict each tree's contract is:
 - **determinism**: everything that executes inside simulated time —
   ``repro/sim``, ``svm``, ``net`` (including the ``repro.net.fabric``
   backends, whose per-link timing arithmetic must be a pure function
-  of the seed), ``proc``.  (``repro.obs`` profiles the simulator
-  itself with real clocks and is deliberately exempt.)
+  of the seed), ``proc``, plus the *observational* obs modules whose
+  outputs are asserted bit-for-bit (``timeline``/``sample``/``slo`` —
+  windowed series, hash-based sampling, SLO evaluation).  (The rest of
+  ``repro.obs`` profiles the simulator itself with real clocks and is
+  deliberately exempt.)
 
 :func:`run_default` is the CI entry point (exhaustive, fixed paths);
 :func:`run_explicit` runs every analysis over caller-chosen paths (the
@@ -50,6 +53,12 @@ DETERMINISM_PATHS = [
     "src/repro/svm",
     "src/repro/net",
     "src/repro/proc",
+    # Deterministic-by-contract obs modules: their exports are asserted
+    # bit-for-bit in CI, so the wall-clock/RNG bans apply file-by-file
+    # (the rest of repro.obs stays exempt — it may time the simulator).
+    "src/repro/obs/timeline.py",
+    "src/repro/obs/sample.py",
+    "src/repro/obs/slo.py",
 ]
 
 

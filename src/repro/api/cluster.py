@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from repro.config import ClusterConfig
+from repro.config import ClusterConfig, ObsConfig
 from repro.machine.disk import Disk
 from repro.machine.memory import PhysicalMemory
 from repro.machine.mmu import AddressLayout
@@ -107,10 +107,15 @@ class Cluster:
         self.sim = Simulator()
         self.trace = trace
         #: Observability bundle (repro.obs): an explicit instance wins,
-        #: else ``config.obs`` decides between a live one and NULL_OBS.
-        self.obs = obs if obs is not None else (
-            Observability() if config.obs else NULL_OBS
-        )
+        #: else ``config.obs`` decides between a live one and NULL_OBS
+        #: (an :class:`ObsConfig` additionally selects the timeline,
+        #: span sampling, and histogram backend).
+        if obs is not None:
+            self.obs = obs
+        elif isinstance(config.obs, ObsConfig) and config.obs:
+            self.obs = Observability.from_config(config.obs)
+        else:
+            self.obs = Observability() if config.obs else NULL_OBS
         clock = self.sim.clock()
         trace.bind_clock(clock)
         if self.obs:  # never rebind the shared NULL_OBS

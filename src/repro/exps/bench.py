@@ -90,6 +90,66 @@ def _bench_cases() -> list[tuple[str, Any, int, ClusterConfig | None]]:
     ]
 
 
+def _timeline_bench(nodes: int = 64, window_ms: int = 20, sample_every: int = 64) -> dict[str, Any]:
+    """Windowed-telemetry section: one sampled ≥64-node switched run.
+
+    The fig5-class scale point observed with a simulated-time timeline:
+    per-window cluster profile attribution, busiest links, and the SLO
+    report whose ``saturation_onset_window`` is the artifact's headline —
+    the first 20 ms window where the run stops meeting its latency or
+    link-occupancy targets.  Every value is deterministic (sampling is a
+    pure hash of span ids), so drift here is behaviour change.
+    """
+    from repro.config import MILLISECOND
+    from repro.exps.presets import scale_fig5
+    from repro.exps.parallel import APP_REGISTRY
+    from repro.exps.scale import DEFAULT_SLOS
+    from repro.obs.slo import evaluate, parse_slo
+
+    app, app_args, config = scale_fig5(nodes, "switched")
+    ctor = APP_REGISTRY[app]
+    obs = Observability(
+        timeline_window_ns=window_ms * MILLISECOND,
+        sample_every=sample_every,
+        hist_backend="logbucket",
+    )
+    res = run_app(
+        lambda p: ctor(p, **app_args), nodes, config=config, check=True, obs=obs
+    )
+    tl = obs.timeline
+    assert tl is not None
+    per_node = obs.window_breakdowns(nodes, res.time_ns)
+    nwin = tl.nwindows(res.time_ns)
+    profile = [
+        {cat: sum(
+            windows[w].get(cat, 0)
+            for windows in per_node.values() if w < len(windows)
+        ) for cat in CATEGORIES}
+        for w in range(nwin)
+    ]
+    report = evaluate(
+        tl, res.time_ns, [parse_slo(text) for text in DEFAULT_SLOS]
+    )
+    return {
+        "case": f"fig5/n{nodes}/switched",
+        "nodes": nodes,
+        "fabric": "switched",
+        "time_ns": res.time_ns,
+        "events": res.events_executed,
+        "window_ns": tl.window_ns,
+        "windows": nwin,
+        "sample_every": sample_every,
+        "spans_recorded": len(obs.spans),
+        "spans_dropped": obs.spans.dropped,
+        "profile_ns_per_window": profile,
+        "busiest_links": [
+            {"link": name, "busy_ns": busy, "peak_window_utilisation": round(peak, 4)}
+            for name, busy, peak in tl.busiest_links(res.time_ns, limit=4)
+        ],
+        "slo": report.summary(),
+    }
+
+
 def run_bench() -> dict[str, Any]:
     runs: dict[str, Any] = {}
     for name, factory, nprocs, config in _bench_cases():
@@ -114,6 +174,7 @@ def run_bench() -> dict[str, Any]:
                 runs["pde_capacity_p1"]["time_ns"] / runs["pde_capacity_p2"]["time_ns"]
             ),
         },
+        "timeline": _timeline_bench(),
     }
     return doc
 

@@ -26,10 +26,19 @@ throughput beats ring at every measured node count >= 64.
     python -m repro.exps.scale --out BENCH_scale.json
     python -m repro.exps.scale --nodes 64 --check BENCH_scale.json   # CI smoke
 
+    # Windowed telemetry for selected points: per-point timeline JSONL +
+    # OpenMetrics exports plus an SLO report with the saturation onset.
+    python -m repro.exps.scale --nodes 64 --classes fig5 \
+        --backends switched --timeline out_dir --sample-every 64
+
 Runs are driven through :func:`repro.exps.parallel.run_jobs` — each
 point is an independent deterministic simulation, so the sweep
 parallelises across cores where available and falls back to a serial
 loop on single-core machines, with identical numbers either way.
+``--timeline`` mode instead runs its points serially in-process (the
+observability handle holds the windowed series and cannot cross a
+process boundary); the simulated numbers are identical either way
+because observation is pure.
 """
 
 from __future__ import annotations
@@ -43,19 +52,32 @@ from repro.exps.parallel import Job, run_jobs
 from repro.exps.presets import SCALE_NODE_COUNTS, scale_fig4, scale_fig5
 from repro.metrics.speedup import RunResult
 
-__all__ = ["scale_jobs", "run_scale", "check_scale", "main"]
+__all__ = ["scale_jobs", "run_scale", "run_timeline", "check_scale", "main"]
 
 BACKENDS = ("ring", "switched")
 
 CLASSES = {"fig5": scale_fig5, "fig4": scale_fig4}
 
+#: Default SLO specs for ``--timeline`` (tuned to the fig5-class knee:
+#: the scatter phase pushes read-fault service past 4 ms and the hottest
+#: port past half occupancy).
+DEFAULT_SLOS = ("p99(fault.read_ns) < 4ms", "link_utilisation < 50%")
 
-def scale_jobs(nodes_list: Sequence[int] = SCALE_NODE_COUNTS) -> list[Job]:
+
+def scale_jobs(
+    nodes_list: Sequence[int] = SCALE_NODE_COUNTS,
+    classes: Sequence[str] | None = None,
+    backends: Sequence[str] | None = None,
+) -> list[Job]:
     """One :class:`Job` per workload class x node count x backend."""
     jobs: list[Job] = []
     for klass, preset in CLASSES.items():
+        if classes is not None and klass not in classes:
+            continue
         for nodes in nodes_list:
             for backend in BACKENDS:
+                if backends is not None and backend not in backends:
+                    continue
                 app, app_args, config = preset(nodes, backend)
                 jobs.append(
                     Job(
@@ -77,8 +99,10 @@ def _events_per_sim_sec(result: RunResult) -> float:
 def run_scale(
     nodes_list: Sequence[int] = SCALE_NODE_COUNTS,
     workers: int | None = None,
+    classes: Sequence[str] | None = None,
+    backends: Sequence[str] | None = None,
 ) -> dict[str, Any]:
-    jobs = scale_jobs(nodes_list)
+    jobs = scale_jobs(nodes_list, classes=classes, backends=backends)
     results = run_jobs(jobs, workers=workers)
     runs: dict[str, Any] = {}
     for job, result in zip(jobs, results):
@@ -102,6 +126,75 @@ def run_scale(
         ),
         "runs": runs,
     }
+
+
+def run_timeline(
+    out_dir: str,
+    nodes_list: Sequence[int],
+    classes: Sequence[str] | None = None,
+    backends: Sequence[str] | None = None,
+    window_ms: float = 20.0,
+    sample_every: int = 64,
+    slos: Sequence[str] = DEFAULT_SLOS,
+) -> int:
+    """Serial in-process observed runs over the selected scale points.
+
+    Writes ``<klass>_n<nodes>_<backend>.jsonl`` (timeline records) and
+    ``.om`` (OpenMetrics) into ``out_dir`` and prints each point's SLO
+    report.  Returns the number of points run.
+    """
+    import os
+
+    from repro.config import MILLISECOND
+    from repro.exps.parallel import APP_REGISTRY
+    from repro.metrics.report import format_busiest_links, format_slo_report
+    from repro.metrics.speedup import run_app
+    from repro.obs import Observability
+    from repro.obs.export import openmetrics, save_timeline_jsonl
+    from repro.obs.slo import evaluate, parse_slo
+
+    specs = [parse_slo(text) for text in slos]
+    os.makedirs(out_dir, exist_ok=True)
+    npoints = 0
+    for klass, preset in CLASSES.items():
+        if classes is not None and klass not in classes:
+            continue
+        for nodes in nodes_list:
+            for backend in BACKENDS:
+                if backends is not None and backend not in backends:
+                    continue
+                app, app_args, config = preset(nodes, backend)
+                ctor = APP_REGISTRY[app]
+                obs = Observability(
+                    timeline_window_ns=int(window_ms * MILLISECOND),
+                    sample_every=sample_every,
+                    hist_backend="logbucket",
+                )
+                result = run_app(
+                    lambda p: ctor(p, **app_args),
+                    nodes, config=config, check=True, obs=obs,
+                )
+                tl = obs.timeline
+                assert tl is not None
+                stem = os.path.join(out_dir, f"{klass}_n{nodes}_{backend}")
+                nrec = save_timeline_jsonl(
+                    f"{stem}.jsonl", obs, nodes, result.time_ns
+                )
+                with open(f"{stem}.om", "w", encoding="utf-8") as fh:
+                    fh.write(openmetrics(obs, nodes, result.time_ns))
+                print(
+                    f"{klass}/n{nodes}/{backend}: "
+                    f"{result.time_ns / 1e9:.2f} s simulated, "
+                    f"{tl.nwindows(result.time_ns)} windows, "
+                    f"{len(obs.spans)} spans recorded "
+                    f"({obs.spans.dropped} sampled out), "
+                    f"{nrec} records -> {stem}.jsonl"
+                )
+                print(format_busiest_links(tl.busiest_links(result.time_ns)))
+                print(format_slo_report(evaluate(tl, result.time_ns, specs)))
+                print()
+                npoints += 1
+    return npoints
 
 
 def check_scale(doc: dict[str, Any], baseline: dict[str, Any]) -> list[str]:
@@ -161,9 +254,50 @@ def main(argv: list[str] | None = None) -> int:
         "--workers", type=int, default=None,
         help="parallel runner processes (default: cpu count)",
     )
+    parser.add_argument(
+        "--classes", nargs="+", choices=sorted(CLASSES), default=None,
+        help="restrict to these workload classes (default: all)",
+    )
+    parser.add_argument(
+        "--backends", nargs="+", choices=BACKENDS, default=None,
+        help="restrict to these fabric backends (default: all)",
+    )
+    parser.add_argument(
+        "--timeline", metavar="DIR",
+        help="windowed-telemetry mode: run the selected points serially "
+        "with a timeline, write JSONL + OpenMetrics exports into DIR, "
+        "print SLO reports (incompatible with --check/--out)",
+    )
+    parser.add_argument(
+        "--window-ms", type=float, default=20.0,
+        help="timeline window width in simulated ms (--timeline only)",
+    )
+    parser.add_argument(
+        "--sample-every", type=int, default=64,
+        help="span sampling rate for --timeline (pure hash of span id)",
+    )
+    parser.add_argument(
+        "--slo", action="append", default=None,
+        help="SLO spec for --timeline, repeatable (default: "
+        + "; ".join(DEFAULT_SLOS) + ")",
+    )
     args = parser.parse_args(argv)
 
-    doc = run_scale(args.nodes, workers=args.workers)
+    if args.timeline:
+        if args.check or args.out:
+            parser.error("--timeline is incompatible with --check/--out")
+        run_timeline(
+            args.timeline, args.nodes,
+            classes=args.classes, backends=args.backends,
+            window_ms=args.window_ms, sample_every=args.sample_every,
+            slos=args.slo if args.slo is not None else DEFAULT_SLOS,
+        )
+        return 0
+
+    doc = run_scale(
+        args.nodes, workers=args.workers,
+        classes=args.classes, backends=args.backends,
+    )
     for name, run in doc["runs"].items():
         print(
             f"{name}: {run['time_ns'] / 1e9:.2f} s simulated, "

@@ -20,6 +20,9 @@ __all__ = [
     "format_series",
     "format_instruments",
     "format_profile",
+    "format_window_profile",
+    "format_busiest_links",
+    "format_slo_report",
     "format_span_stats",
     "fault_latency_stats",
 ]
@@ -168,6 +171,84 @@ def format_profile(
     cluster = SimProfiler.cluster(per_node)
     rows.append(row("cluster", cluster, total_ns * max(1, len(per_node))))
     return ascii_table(headers, rows, title=title)
+
+
+def format_window_profile(
+    per_node_windows: dict[int, list[dict[str, int]]],
+    window_ns: int,
+    total_ns: int,
+    title: str = "cluster profile per window",
+) -> str:
+    """Cluster-wide attribution per window (each row sums to 100%).
+
+    Sums the per-node windowed breakdowns: one row per window, one
+    column per category, so saturation reads as the fault/network share
+    climbing down the table.
+    """
+    from repro.obs.profiler import CATEGORIES
+
+    nwin = max((len(windows) for windows in per_node_windows.values()), default=0)
+    nnodes = max(1, len(per_node_windows))
+    rows: list[list[str]] = []
+    for w in range(nwin):
+        totals = dict.fromkeys(CATEGORIES, 0)
+        for windows in per_node_windows.values():
+            if w < len(windows):
+                for cat, ns in windows[w].items():
+                    totals[cat] += ns
+        width = min(window_ns, max(1, total_ns - w * window_ns)) * nnodes
+        cells = [f"{w}", f"{w * window_ns / 1e6:.0f}"]
+        for cat in CATEGORIES:
+            cells.append(f"{100.0 * totals[cat] / width:5.1f}%")
+        rows.append(cells)
+    if not rows:
+        rows.append(["(no windows)", "-"] + ["-"] * len(CATEGORIES))
+    return ascii_table(
+        ["window", "start ms"] + list(CATEGORIES), rows, title=title
+    )
+
+
+def format_busiest_links(
+    rows: Sequence[tuple[str, int, float]],
+    title: str = "busiest links over the run",
+) -> str:
+    """Top links by total busy time, with each link's peak window."""
+    table_rows = [
+        [name, f"{busy / 1e6:.1f}", f"{100.0 * peak:.1f}%"]
+        for name, busy, peak in rows
+    ]
+    if not table_rows:
+        table_rows.append(["(no links)", "-", "-"])
+    return ascii_table(
+        ["link", "busy ms", "peak window util"], table_rows, title=title
+    )
+
+
+def format_slo_report(report: Any, title: str = "SLO verdicts") -> str:
+    """One row per spec: verdict and the first violating window."""
+    rows: list[list[str]] = []
+    for res in report.results:
+        rows.append(
+            [
+                res.spec.raw,
+                "OK" if res.ok else "VIOLATED",
+                "-" if res.first_violation is None else str(res.first_violation),
+            ]
+        )
+    if not rows:
+        rows.append(["(no specs)", "-", "-"])
+    onset = report.saturation_onset
+    tail = (
+        "no saturation onset"
+        if onset is None
+        else f"saturation onset at window {onset} "
+        f"(t = {onset * report.window_ns / 1e6:.0f} ms)"
+    )
+    return ascii_table(
+        ["spec", "verdict", "first bad window"], rows,
+        title=f"{title} ({report.windows} windows of "
+        f"{report.window_ns / 1e6:.0f} ms): {tail}",
+    )
 
 
 def format_span_stats(

@@ -137,6 +137,11 @@ class Fabric:
         #: ``enabled`` is fixed at construction; caching the truth value
         #: saves a __bool__ dispatch on every send.
         self._obs_on = bool(obs)
+        #: Windowed per-link busy accounting (None unless a timeline is
+        #: configured); backends report each booked transmission to it.
+        #: Purely observational: the booking times are computed first,
+        #: identically, whether or not anyone records them.
+        self._timeline = obs.timeline if self._obs_on else None
         self.stats: FabricStats
         self._receivers: dict[int, Callable[[Message], None]] = {}
         #: Deterministic drop hook for the schedule explorer's delay-

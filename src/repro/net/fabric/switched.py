@@ -170,6 +170,11 @@ class SwitchedFabric(Fabric):
             rx_link.peak_backlog_ns = backlog
 
         stats.busy_ns += 2 * occupancy
+        if self._timeline is not None:
+            # Windowed busy accounting per port; both bookings above are
+            # already final, so this observes only.
+            self._timeline.link_busy(f"tx[{src}]", start_tx, start_tx + occupancy)
+            self._timeline.link_busy(f"rx[{dst}]", start_rx, start_rx + occupancy)
         return start_rx + occupancy + cfg.delivery_latency
 
     # ------------------------------------------------------------------

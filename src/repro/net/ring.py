@@ -125,6 +125,10 @@ class TokenRing(Fabric):
         occupancy = self.occupancy_ns(msg.nbytes)
         self._free_at = free_at = start + occupancy
         arrival = free_at + self.config.delivery_latency
+        if self._timeline is not None:
+            # Windowed busy accounting for the single shared link; the
+            # booking above is already final, so this observes only.
+            self._timeline.link_busy("medium", start, free_at)
 
         stats = self.stats
         stats.messages += 1

@@ -10,26 +10,46 @@ One :class:`Observability` object per run bundles the three layers:
 - :class:`repro.obs.profiler.SimProfiler` — per-node attribution of
   simulated time to compute / fault-stall / network / disk / idle.
 
-Enable it per run (``ClusterConfig(obs=True)``, or pass an
-``Observability`` to :class:`repro.api.ivy.Ivy` / ``run_app`` to keep the
-handle).  Like :data:`repro.sim.trace.NULL_TRACE`, the default
-:data:`NULL_OBS` is a disabled instance whose hooks are no-ops, so the
-hot paths pay one truthiness check and nothing else.  Every hook is pure
-observation — no simulation events, no effects, no RNG — so enabling
-observability never changes simulated times, event counts, or golden
-schedules.
+Two scale features ride the same handle, both opt-in and both pure
+observation:
+
+- a windowed **timeline** (:class:`repro.obs.timeline.Timeline`,
+  ``timeline_window_ns > 0``) that buckets instruments, closed-span
+  time, per-window profiler attribution, and per-link busy-ns into
+  fixed simulated-time windows — the substrate for SLO evaluation
+  (:mod:`repro.obs.slo`) and saturation-onset detection;
+- deterministic **head-based span sampling** (``sample_every > 1``)
+  keeping ~1/N of root-span trees by a pure hash of the span id
+  (:mod:`repro.obs.sample`).  Dropped spans still feed the profiler
+  and the timeline at close time via :meth:`Observability.span_end`
+  / :meth:`Observability.span_account`, so attribution stays complete
+  while the recorded span list shrinks ~N-fold.
+
+Enable it per run (``ClusterConfig(obs=True)`` or
+``ClusterConfig(obs=ObsConfig(...))``, or pass an ``Observability`` to
+:class:`repro.api.ivy.Ivy` / ``run_app`` to keep the handle).  Like
+:data:`repro.sim.trace.NULL_TRACE`, the default :data:`NULL_OBS` is a
+disabled instance whose hooks are no-ops, so the hot paths pay one
+truthiness check and nothing else.  Every hook is pure observation — no
+simulation events, no effects, no RNG — so enabling observability never
+changes simulated times, event counts, or golden schedules.
 
 Exporters live in :mod:`repro.obs.export` (Chrome trace-event JSON,
-loadable in Perfetto) and the CLI in ``python -m repro.obs``.
+loadable in Perfetto; timeline JSONL; OpenMetrics text) and the CLI in
+``python -m repro.obs``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.metrics.hist import Metrics
 from repro.obs.profiler import CATEGORIES, PRECEDENCE, SimProfiler
-from repro.obs.span import NULL_SPAN, Span, SpanTracer
+from repro.obs.span import NULL_SPAN, UNSTAMPED, Span, SpanTracer
+from repro.obs.timeline import Timeline
+
+if TYPE_CHECKING:
+    from repro.config import ObsConfig
 
 __all__ = [
     "Observability",
@@ -39,6 +59,7 @@ __all__ = [
     "NULL_SPAN",
     "SimProfiler",
     "Metrics",
+    "Timeline",
     "CATEGORIES",
     "PRECEDENCE",
     "SPAN_CATEGORIES",
@@ -60,17 +81,40 @@ def _span_category(name: str) -> str | None:
 class Observability:
     """Spans + instruments + profiler behind one opt-in handle."""
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        *,
+        timeline_window_ns: int = 0,
+        sample_every: int = 1,
+        hist_backend: str = "exact",
+    ) -> None:
         self.enabled = enabled
-        self.spans = SpanTracer(enabled=enabled)
-        self.metrics = Metrics()
+        self.spans = SpanTracer(enabled=enabled, sample_every=sample_every)
+        self.metrics = Metrics(default_backend=hist_backend)
         self.profiler = SimProfiler()
+        self.timeline: Timeline | None = (
+            Timeline(timeline_window_ns, hist_backend=hist_backend)
+            if enabled and timeline_window_ns > 0
+            else None
+        )
+
+    @classmethod
+    def from_config(cls, config: "ObsConfig") -> "Observability":
+        return cls(
+            enabled=config.enabled,
+            timeline_window_ns=config.timeline_window_ns,
+            sample_every=config.sample_every,
+            hist_backend=config.hist_backend,
+        )
 
     def __bool__(self) -> bool:
         return self.enabled
 
     def bind_clock(self, clock: Callable[[], int]) -> None:
         self.spans.bind_clock(clock)
+        if self.timeline is not None:
+            self.timeline.bind_clock(clock)
 
     # ------------------------------------------------------------------
     # span facade (no-ops when disabled; see SpanTracer)
@@ -89,6 +133,37 @@ class Observability:
 
     def span_end(self, span: Span, end: int | None = None) -> None:
         self.spans.span_end(span, end=end)
+        if span.sid != 0:
+            self._account(span)
+
+    def span_account(self, span: Span, end: int | None = None) -> None:
+        """Close a span *and* fold its interval into the aggregates.
+
+        The explicit name for sites where the aggregates — not the span
+        record — are the point: under head-based sampling the span
+        itself may be dropped (negative id), but its time still feeds
+        the profiler's attribution and the timeline's per-window series.
+        :meth:`span_end` does the same accounting; this alias exists so
+        accumulation-first call sites read as what they are.
+        """
+        self.span_end(span, end=end)
+
+    def _account(self, span: Span) -> None:
+        """Fold one just-closed span into profiler/timeline aggregates.
+
+        Kept spans reach the profiler later via :meth:`_profile`;
+        dropped (negative-id) spans are not in the tracer's list, so
+        their categorised interval is recorded here — whole-run and
+        windowed attribution stay complete at any sampling rate.
+        """
+        if span.start == UNSTAMPED or span.end == UNSTAMPED:
+            return
+        if span.sid < 0:
+            category = _span_category(span.name)
+            if category is not None:
+                self.profiler.interval(span.node, category, span.start, span.end)
+        if self.timeline is not None and span.end > span.start:
+            self.timeline.span(span.name, span.start, span.end)
 
     # ------------------------------------------------------------------
     # instruments
@@ -96,10 +171,14 @@ class Observability:
     def observe(self, name: str, value: float) -> None:
         if self.enabled:
             self.metrics.observe(name, value)
+            if self.timeline is not None:
+                self.timeline.observe(name, value)
 
     def gauge(self, name: str, value: float) -> None:
         if self.enabled:
             self.metrics.gauge(name, value)
+            if self.timeline is not None:
+                self.timeline.gauge(name, value)
 
     # ------------------------------------------------------------------
     # profiler
@@ -128,6 +207,18 @@ class Observability:
     @staticmethod
     def cluster_breakdown(per_node: dict[int, dict[str, int]]) -> dict[str, int]:
         return SimProfiler.cluster(per_node)
+
+    def window_breakdowns(
+        self, nnodes: int, total_ns: int
+    ) -> dict[int, list[dict[str, int]]]:
+        """Per-node, per-window partition of ``[0, total_ns]`` using the
+        timeline's window width; requires a timeline."""
+        if self.timeline is None:
+            raise ValueError("window_breakdowns requires a timeline "
+                             "(Observability(timeline_window_ns=...))")
+        return self._profile(total_ns).per_node_windows(
+            nnodes, total_ns, self.timeline.window_ns
+        )
 
     # ------------------------------------------------------------------
     # aggregate span statistics (the CLI's `top`)

@@ -23,6 +23,22 @@
     # Validate an exported trace against the trace-event schema:
     python -m repro.obs validate dotprod_trace.json
 
+    # Windowed timeline: per-window profile, busiest links over time,
+    # SLO verdicts; JSONL + OpenMetrics exports.  --sample-every keeps
+    # 1/N of span trees (pure hash of the span id — reproducible).
+    python -m repro.obs timeline --app dotprod --nodes 64 \
+        --fabric switched --window-ms 500 --sample-every 64 \
+        --slo "p99(fault.read_ns) < 60ms" --slo "link_utilisation < 90%" \
+        --out timeline.jsonl --metrics-out metrics.om
+
+    # Evaluate SLOs only (exit 1 on violation with --fail-on-violation):
+    python -m repro.obs slo --app jacobi --nodes 4 --window-ms 20 \
+        --spec "p99(fault.read_ns) < 10ms"
+
+    # Validate exported artifacts against their schemas:
+    python -m repro.obs validate-timeline timeline.jsonl
+    python -m repro.obs validate-metrics metrics.om
+
 Exit status is non-zero when a run fails its numerical check or a trace
 fails validation, so CI can gate on it (the ``obs-smoke`` job does).
 """
@@ -34,9 +50,16 @@ import json
 import sys
 from typing import Any
 
-from repro.config import ClusterConfig
+from repro.config import MILLISECOND, ClusterConfig
 from repro.obs import Observability
-from repro.obs.export import save_chrome_trace, validate_chrome_trace
+from repro.obs.export import (
+    openmetrics,
+    save_chrome_trace,
+    save_timeline_jsonl,
+    validate_chrome_trace,
+    validate_openmetrics,
+    validate_timeline_jsonl,
+)
 
 #: Pages of one PDE vector at the smoke sizes below (for --capacity).
 _PDE_M = 14
@@ -70,6 +93,9 @@ def _run_observed(args: argparse.Namespace) -> tuple[Any, Observability]:
     config = ClusterConfig(nodes=args.nodes, obs=True).with_svm(
         algorithm=args.algorithm
     )
+    fabric = getattr(args, "fabric", "ring")
+    if fabric != "ring":
+        config = config.with_fabric(backend=fabric)
     if getattr(args, "capacity", False):
         # The Figure 4 / Table 1 regime: one node's frames hold ~1.8 of
         # the working set per vector, with Aegis-style randomised
@@ -79,7 +105,12 @@ def _run_observed(args: argparse.Namespace) -> tuple[Any, Observability]:
         config = config.with_memory(
             frames=int(1.8 * vector_pages), replacement="random"
         )
-    obs = Observability()
+    window_ms = getattr(args, "window_ms", 0.0)
+    obs = Observability(
+        timeline_window_ns=int(window_ms * MILLISECOND),
+        sample_every=getattr(args, "sample_every", 1),
+        hist_backend=getattr(args, "hist_backend", "exact"),
+    )
     ivy = Ivy(config, obs=obs)
     app = _build_app(args.app, args.nodes)
     result = ivy.run(app.main)
@@ -146,6 +177,113 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _timeline_or_die(obs: Observability) -> Any:
+    if obs.timeline is None:
+        raise SystemExit("this command needs a timeline; pass --window-ms > 0")
+    return obs.timeline
+
+
+def _parse_specs(texts: list[str]) -> list[Any]:
+    from repro.obs.slo import parse_slo
+
+    try:
+        return [parse_slo(text) for text in texts]
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.metrics.report import (
+        format_busiest_links,
+        format_slo_report,
+        format_window_profile,
+    )
+    from repro.obs.slo import evaluate
+
+    specs = _parse_specs(args.slo)
+    ivy, obs = _run_observed(args)
+    tl = _timeline_or_die(obs)
+    total = ivy.time_ns
+    print(
+        f"{args.app} on {args.nodes} nodes ({args.algorithm}, {args.fabric}): "
+        f"T = {total / 1e6:.1f} ms simulated, {tl.nwindows(total)} windows of "
+        f"{tl.window_ns / 1e6:.0f} ms, {len(obs.spans)} spans recorded "
+        f"({obs.spans.dropped} sampled out)"
+    )
+    print()
+    print(
+        format_window_profile(
+            obs.window_breakdowns(args.nodes, total), tl.window_ns, total
+        )
+    )
+    print()
+    print(format_busiest_links(tl.busiest_links(total)))
+    if specs:
+        print()
+        print(format_slo_report(evaluate(tl, total, specs)))
+    if args.out:
+        n = save_timeline_jsonl(args.out, obs, args.nodes, total)
+        print(f"\nsaved {n} timeline records to {args.out}")
+    if args.metrics_out:
+        text = openmetrics(obs, args.nodes, total)
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"saved OpenMetrics exposition to {args.metrics_out}")
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.metrics.report import format_slo_report
+    from repro.obs.slo import evaluate
+
+    if not args.spec:
+        raise SystemExit("pass at least one --spec")
+    specs = _parse_specs(args.spec)
+    ivy, obs = _run_observed(args)
+    tl = _timeline_or_die(obs)
+    report = evaluate(tl, ivy.time_ns, specs)
+    print(format_slo_report(report))
+    if args.fail_on_violation and not report.ok:
+        return 1
+    return 0
+
+
+def _cmd_validate_timeline(args: argparse.Namespace) -> int:
+    try:
+        with open(args.file, encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except FileNotFoundError:
+        raise SystemExit(f"no such timeline file: {args.file}")
+    problems = validate_timeline_jsonl(lines)
+    for problem in problems:
+        print(f"{args.file}: {problem}")
+    if problems:
+        print(f"{len(problems)} problem(s)")
+        return 1
+    nrecords = sum(1 for line in lines if line.strip())
+    print(f"{args.file}: valid timeline JSONL ({nrecords} records)")
+    return 0
+
+
+def _cmd_validate_metrics(args: argparse.Namespace) -> int:
+    try:
+        with open(args.file, encoding="utf-8") as fh:
+            text = fh.read()
+    except FileNotFoundError:
+        raise SystemExit(f"no such metrics file: {args.file}")
+    problems = validate_openmetrics(text)
+    for problem in problems:
+        print(f"{args.file}: {problem}")
+    if problems:
+        print(f"{len(problems)} problem(s)")
+        return 1
+    nsamples = sum(
+        1 for line in text.split("\n") if line and not line.startswith("#")
+    )
+    print(f"{args.file}: valid OpenMetrics exposition ({nsamples} samples)")
+    return 0
+
+
 def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--app", default="dotprod", help="dotprod | jacobi | tsp | pde")
     parser.add_argument("--nodes", type=int, default=2)
@@ -156,6 +294,22 @@ def _add_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--capacity", action="store_true",
         help="bound frames below the working set (the Figure 4 regime)",
+    )
+    parser.add_argument(
+        "--fabric", default="ring", choices=("ring", "switched"),
+        help="network backend (default ring)",
+    )
+    parser.add_argument(
+        "--window-ms", type=float, default=0.0,
+        help="timeline window width in simulated ms (0 = no timeline)",
+    )
+    parser.add_argument(
+        "--sample-every", type=int, default=1,
+        help="keep ~1/N of span trees by a pure hash of the span id",
+    )
+    parser.add_argument(
+        "--hist-backend", default="exact", choices=("exact", "logbucket"),
+        help="histogram backend (logbucket = bounded memory)",
     )
 
 
@@ -184,6 +338,46 @@ def main(argv: list[str] | None = None) -> int:
     validate = sub.add_parser("validate", help="check an exported Chrome trace")
     validate.add_argument("trace", help="JSON file written by `export`")
     validate.set_defaults(func=_cmd_validate)
+
+    timeline = sub.add_parser(
+        "timeline", help="windowed profile, busiest links, SLOs, exports"
+    )
+    _add_run_args(timeline)
+    timeline.set_defaults(window_ms=50.0)
+    timeline.add_argument(
+        "--slo", action="append", default=[],
+        help='SLO spec, repeatable (e.g. "p99(fault.read_ns) < 60ms")',
+    )
+    timeline.add_argument("--out", default="", help="timeline JSONL path")
+    timeline.add_argument(
+        "--metrics-out", default="", help="OpenMetrics exposition path"
+    )
+    timeline.set_defaults(func=_cmd_timeline)
+
+    slo = sub.add_parser("slo", help="evaluate SLO specs over a windowed run")
+    _add_run_args(slo)
+    slo.set_defaults(window_ms=50.0)
+    slo.add_argument(
+        "--spec", action="append", default=[],
+        help='SLO spec, repeatable (e.g. "link_utilisation < 90%%")',
+    )
+    slo.add_argument(
+        "--fail-on-violation", action="store_true",
+        help="exit 1 when any spec is violated in any window",
+    )
+    slo.set_defaults(func=_cmd_slo)
+
+    vtl = sub.add_parser(
+        "validate-timeline", help="check a timeline JSONL export"
+    )
+    vtl.add_argument("file", help="JSONL file written by `timeline --out`")
+    vtl.set_defaults(func=_cmd_validate_timeline)
+
+    vom = sub.add_parser(
+        "validate-metrics", help="check an OpenMetrics exposition"
+    )
+    vom.add_argument("file", help="file written by `timeline --metrics-out`")
+    vom.set_defaults(func=_cmd_validate_metrics)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -77,6 +77,26 @@ class SimProfiler:
 
     # ------------------------------------------------------------------
 
+    def _deltas(
+        self, node: int, total_ns: int
+    ) -> defaultdict[int, defaultdict[str, int]]:
+        """Boundary events: +1/-1 per category at clamped interval edges."""
+        deltas: defaultdict[int, defaultdict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        known = set(PRECEDENCE)
+        for cat, spans in self._intervals.get(node, {}).items():
+            if cat not in known:
+                continue  # unknown categories fall through to idle
+            for start, end in spans:
+                start = max(0, start)
+                end = min(end, total_ns)
+                if end <= start:
+                    continue
+                deltas[start][cat] += 1
+                deltas[end][cat] -= 1
+        return deltas
+
     def breakdown(self, node: int, total_ns: int) -> dict[str, int]:
         """Partition ``[0, total_ns]`` of one node's timeline.
 
@@ -86,20 +106,7 @@ class SimProfiler:
         out = {cat: 0 for cat in CATEGORIES}
         if total_ns <= 0:
             return out
-        # Boundary events: +1/-1 per category at clamped interval edges.
-        deltas: defaultdict[int, defaultdict[str, int]] = defaultdict(
-            lambda: defaultdict(int)
-        )
-        for cat, spans in self._intervals.get(node, {}).items():
-            if cat not in out or cat == "idle":
-                continue  # unknown categories fall through to idle
-            for start, end in spans:
-                start = max(0, start)
-                end = min(end, total_ns)
-                if end <= start:
-                    continue
-                deltas[start][cat] += 1
-                deltas[end][cat] -= 1
+        deltas = self._deltas(node, total_ns)
         active = {cat: 0 for cat in PRECEDENCE}
         prev = 0
         for t in sorted(deltas):
@@ -112,6 +119,48 @@ class SimProfiler:
             out[self._pick(active)] += total_ns - prev
         return out
 
+    def window_breakdown(
+        self, node: int, total_ns: int, window_ns: int
+    ) -> list[dict[str, int]]:
+        """Per-window partition of one node's ``[0, total_ns]`` timeline.
+
+        The same line sweep as :meth:`breakdown`, but each attributed
+        segment is credited across the window boundaries it crosses.
+        Returns one ``{category: ns}`` dict per window of width
+        ``window_ns``; every full window's values sum to ``window_ns``
+        exactly, and the final (possibly partial) window's values sum to
+        ``total_ns - (nwindows - 1) * window_ns``.
+        """
+        if window_ns <= 0:
+            raise ValueError(f"window_ns must be positive, got {window_ns}")
+        nwin = max(1, -(-total_ns // window_ns))  # ceil
+        out = [{cat: 0 for cat in CATEGORIES} for _ in range(nwin)]
+        if total_ns <= 0:
+            return out
+
+        def credit(start: int, end: int, cat: str) -> None:
+            win = start // window_ns
+            at = start
+            while at < end:
+                edge = (win + 1) * window_ns
+                stop = end if end < edge else edge
+                out[win][cat] += stop - at
+                at = stop
+                win += 1
+
+        deltas = self._deltas(node, total_ns)
+        active = {cat: 0 for cat in PRECEDENCE}
+        prev = 0
+        for t in sorted(deltas):
+            if t > prev:
+                credit(prev, t, self._pick(active))
+                prev = t
+            for cat, d in deltas[t].items():
+                active[cat] += d
+        if prev < total_ns:
+            credit(prev, total_ns, self._pick(active))
+        return out
+
     @staticmethod
     def _pick(active: dict[str, int]) -> str:
         for cat in PRECEDENCE:
@@ -122,6 +171,15 @@ class SimProfiler:
     def per_node(self, nnodes: int, total_ns: int) -> dict[int, dict[str, int]]:
         """Breakdown for every node id in ``range(nnodes)``."""
         return {node: self.breakdown(node, total_ns) for node in range(nnodes)}
+
+    def per_node_windows(
+        self, nnodes: int, total_ns: int, window_ns: int
+    ) -> dict[int, list[dict[str, int]]]:
+        """Windowed breakdown for every node id in ``range(nnodes)``."""
+        return {
+            node: self.window_breakdown(node, total_ns, window_ns)
+            for node in range(nnodes)
+        }
 
     @staticmethod
     def cluster(per_node: dict[int, dict[str, int]]) -> dict[str, int]:

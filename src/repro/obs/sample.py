@@ -1,0 +1,37 @@
+"""Deterministic head-based span sampling.
+
+At 256 nodes, tracing every fault is unaffordable: a fig5-class run
+emits hundreds of thousands of spans.  Head-based sampling keeps 1/N of
+the *root* spans (and, via the id that rides on ``Message.span``, every
+descendant of a kept root), cutting cost to ~1/N while preserving whole
+causal trees.
+
+The keep/drop decision must not perturb the simulation or vary between
+runs, so it is a pure function of the span id — no RNG stream, no wall
+clock, no global state: the id is fed through the splitmix64 finalizer
+(a full-avalanche 64-bit mixer) and kept when the hash is 0 modulo the
+sampling rate.  Span ids are allocated in emission order either way, so
+sampled and unsampled runs agree on every id and two identical runs
+sample the identical set.
+"""
+
+from __future__ import annotations
+
+__all__ = ["mix64", "keep_root"]
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def mix64(x: int) -> int:
+    """splitmix64 finalizer: a bijective full-avalanche 64-bit mix."""
+    x &= _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+def keep_root(sid: int, sample_every: int) -> bool:
+    """Keep roughly 1 in ``sample_every`` root spans, deterministically."""
+    if sample_every <= 1:
+        return True
+    return mix64(sid) % sample_every == 0

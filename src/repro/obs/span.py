@@ -24,6 +24,15 @@ and the hot path pays one attribute check.  Recording is pure
 observation — it never schedules events, yields effects, or consumes
 RNG, so enabling it cannot change simulated times or event counts.
 
+Head-based sampling (``sample_every > 1``) keeps ~1/N of root spans by
+a pure hash of the span id (:func:`repro.obs.sample.keep_root`).  Ids
+are allocated identically whether or not a span is kept, so schedules
+and id assignment never depend on the sampling rate.  A dropped span
+carries the *negated* id: the sign rides ``Message.span`` exactly like
+a positive id would, so a receiver can parent its handler span under a
+dropped ancestor and drop it too — whole causal trees are kept or
+dropped together (0 still means "no span at all").
+
 Like :class:`repro.sim.trace.TraceRecorder`, a tracer used before the
 cluster binds its clock stamps :data:`UNSTAMPED` rather than a plausible
 zero, and streams round-trip through :meth:`save` / :meth:`load` using
@@ -35,6 +44,7 @@ from __future__ import annotations
 import json
 from typing import Any, Callable, Iterator
 
+from repro.obs.sample import keep_root
 from repro.sim.trace import UNSTAMPED, jsonable
 
 __all__ = ["Span", "SpanTracer", "NULL_SPAN", "UNSTAMPED"]
@@ -90,9 +100,13 @@ NULL_SPAN = Span(0, 0, "", -1, UNSTAMPED, UNSTAMPED, {})
 class SpanTracer:
     """Collects spans; disabled instances are no-ops returning NULL_SPAN."""
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
         self.enabled = enabled
+        self.sample_every = sample_every
         self.spans: list[Span] = []
+        self.dropped = 0
         self._by_sid: dict[int, Span] = {}
         self._next_sid = 0
         self._clock: Callable[[], int] | None = None
@@ -131,17 +145,31 @@ class SpanTracer:
             return NULL_SPAN
         pid = parent.sid if isinstance(parent, Span) else int(parent or 0)
         self._next_sid += 1
-        span = Span(
-            self._next_sid, pid, name, node,
-            self._now() if start is None else start,
-            UNSTAMPED, attrs if attrs else {},
-        )
+        sid = self._next_sid
+        at = self._now() if start is None else start
+        if pid < 0 or (
+            pid == 0
+            and self.sample_every > 1
+            and not keep_root(sid, self.sample_every)
+        ):
+            # Dropped: id allocation and timing are identical to the
+            # kept path (sampling must not perturb either), but the
+            # span is not recorded and its negated id propagates the
+            # drop decision to descendants.
+            self.dropped += 1
+            return Span(-sid, pid, name, node, at, UNSTAMPED, attrs if attrs else {})
+        span = Span(sid, pid, name, node, at, UNSTAMPED, attrs if attrs else {})
         self.spans.append(span)
         self._by_sid[span.sid] = span
         return span
 
     def span_end(self, span: Span, end: int | None = None) -> None:
-        """Close a span; :data:`NULL_SPAN` (id 0) is ignored."""
+        """Close a span; :data:`NULL_SPAN` (id 0) is ignored.
+
+        Dropped (negative-id) spans are stamped too: they were never
+        recorded, but timeline accumulation still reads their interval,
+        and each is a fresh object (unlike the shared NULL_SPAN).
+        """
         if span.sid == 0:
             return
         span.end = self._now() if end is None else end

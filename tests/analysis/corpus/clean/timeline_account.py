@@ -1,0 +1,13 @@
+"""Accumulation-first span close: ``span_account`` is a documented
+alias of ``span_end`` used where a sampled-out (negative-id) span must
+still feed the profiler and timeline — the lock/span rule accepts it
+as a closer on every exit path."""
+
+
+def serve(self, msg):
+    obs = self.obs
+    span = obs.span_begin("serve", parent=msg.span, node=self.node_id)
+    try:
+        yield from self.handle(msg.origin, msg.payload)
+    finally:
+        obs.span_account(span)

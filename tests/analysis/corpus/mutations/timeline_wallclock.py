@@ -1,0 +1,11 @@
+"""Seeded bug: a timeline-style accumulator bucketing by the *host*
+clock instead of the bound simulated clock — the windowed series would
+differ run to run, breaking the bit-for-bit export contract."""
+
+import time
+
+
+def credit(self, name, value):
+    window = int(time.time() * 1e9) // self.window_ns
+    self.windows.setdefault(name, {}).setdefault(window, 0)
+    self.windows[name][window] += value

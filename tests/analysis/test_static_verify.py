@@ -50,6 +50,7 @@ EXPECTED = {
     "fabric_unseeded_loss.py": {"det-unseeded-random"},
     "set_iteration.py": {"det-set-iteration"},
     "id_order.py": {"det-id-order"},
+    "timeline_wallclock.py": {"det-wallclock"},
 }
 
 
@@ -73,6 +74,25 @@ def test_determinism_lint_covers_the_fabric_backends():
         "repro/net/ring.py",
     ):
         assert any(p.endswith(tail) for p in loaded), tail
+
+
+def test_determinism_lint_covers_the_deterministic_obs_modules():
+    """The timeline/sampling/SLO modules are observational but their
+    exports are asserted bit-for-bit in CI, so they are opted back into
+    the determinism sweep file-by-file (the rest of repro.obs stays
+    exempt — it may legitimately time the simulator with real clocks)."""
+    from repro.analysis.static import facts as facts_mod
+    from repro.analysis.static.engine import DETERMINISM_PATHS
+
+    paths = [str(REPO_ROOT / p) for p in DETERMINISM_PATHS]
+    loaded = {Path(m.path).as_posix() for m in facts_mod.load_modules(paths)}
+    for tail in (
+        "repro/obs/timeline.py",
+        "repro/obs/sample.py",
+        "repro/obs/slo.py",
+    ):
+        assert any(p.endswith(tail) for p in loaded), tail
+    assert not any(p.endswith("repro/obs/profiler.py") for p in loaded)
 
 
 @pytest.mark.parametrize("name", sorted(EXPECTED))

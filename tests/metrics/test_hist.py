@@ -1,9 +1,17 @@
 """Histogram / gauge / metrics-registry unit tests, including the
-percentile edge cases the reports depend on (empty, single-sample)."""
+percentile edge cases the reports depend on (empty, single-sample) and
+the log-bucket backend's relative-error guarantee."""
 
 import pytest
 
-from repro.metrics.hist import Gauge, Histogram, Metrics
+from repro.metrics.hist import (
+    HIST_BACKENDS,
+    Gauge,
+    Histogram,
+    LogBucketHistogram,
+    Metrics,
+    make_histogram,
+)
 
 
 def test_empty_histogram_reports_none_everywhere():
@@ -98,6 +106,116 @@ def test_metrics_merge_pools_histograms_and_keeps_gauge_peaks():
     # Merge is a snapshot, not a live view.
     a.observe("lat", 99)
     assert merged.histograms["lat"].count == 3
+
+
+# ---------------------------------------------------------------------------
+# log-bucket (DDSketch-style) backend
+
+
+def _lat_samples():
+    """A deterministic heavy-tailed latency-ish sequence (ns scale)."""
+    out = []
+    v = 100.0
+    for i in range(2000):
+        v = v * 1.01 if i % 7 else v * 0.55
+        out.append(int(v) + i % 13)
+    out.extend(range(1, 50))  # a low head
+    out.extend((10_000_000, 25_000_000, 99_000_000))  # a far tail
+    return out
+
+
+@pytest.mark.parametrize("alpha", [0.01, 0.05])
+@pytest.mark.parametrize("q", [50, 90, 95, 99, 100])
+def test_logbucket_percentile_relative_error_is_bounded(alpha, q):
+    # The satellite's contract: every reported quantile is within
+    # `alpha` relative error of the exact nearest-rank answer.
+    exact = Histogram("exact")
+    sketch = LogBucketHistogram("sketch", alpha=alpha)
+    for v in _lat_samples():
+        exact.observe(v)
+        sketch.observe(v)
+    truth = exact.percentile(q)
+    got = sketch.percentile(q)
+    assert truth is not None and got is not None
+    assert abs(got - truth) / truth <= alpha, (q, got, truth)
+
+
+def test_logbucket_memory_is_bounded_by_range_not_count():
+    sketch = LogBucketHistogram("mem", alpha=0.01)
+    for i in range(50_000):
+        sketch.observe(100 + (i * 37) % 10_000)
+    assert sketch.count == 50_000
+    # ln(10100/100)/ln(gamma) buckets at most — far below the count.
+    assert sketch.nbuckets < 300
+
+
+def test_logbucket_empty_single_and_nonpositive():
+    sketch = LogBucketHistogram("edge", alpha=0.02)
+    assert sketch.count == 0 and sketch.percentile(50) is None
+    sketch.observe(0)
+    sketch.observe(-5)
+    # Non-positive values land in the exact zero bucket.
+    assert sketch.count == 2
+    assert sketch.percentile(50) == 0
+    sketch.observe(42)
+    assert sketch.min == -5 and sketch.max == 42
+    assert sketch.percentile(100) == 42  # clamped to the observed max
+
+
+def test_logbucket_min_max_total_are_exact():
+    sketch = LogBucketHistogram("exactish", alpha=0.01)
+    for v in (5, 17, 900):
+        sketch.observe(v)
+    assert sketch.min == 5 and sketch.max == 900
+    assert sketch.total == 922
+    assert sketch.mean() == pytest.approx(922 / 3)
+
+
+def test_logbucket_merge_same_alpha_is_bucketwise():
+    a = LogBucketHistogram("a", alpha=0.01)
+    b = LogBucketHistogram("b", alpha=0.01)
+    for v in (10, 100, 1000):
+        a.observe(v)
+    for v in (20, 200):
+        b.observe(v)
+    a.merge_from(b)
+    assert a.count == 5
+    assert a.max == 1000 and a.min == 10
+    p50 = a.percentile(50)
+    assert p50 is not None and abs(p50 - 100) / 100 <= 0.01
+
+
+def test_make_histogram_selects_backend():
+    assert isinstance(make_histogram("x", "exact"), Histogram)
+    assert isinstance(make_histogram("x", "logbucket", 0.03), LogBucketHistogram)
+    with pytest.raises(ValueError):
+        make_histogram("x", "tdigest")
+    assert set(HIST_BACKENDS) == {"exact", "logbucket"}
+
+
+def test_metrics_registry_backend_selection_per_instrument():
+    m = Metrics(default_backend="exact")
+    m.set_backend("fault.read_ns", "logbucket")
+    m.observe("fault.read_ns", 100)
+    m.observe("other", 5)
+    assert isinstance(m.histograms["fault.read_ns"], LogBucketHistogram)
+    assert isinstance(m.histograms["other"], Histogram)
+    # Too late once the instrument exists — the data is already bucketed.
+    with pytest.raises(ValueError):
+        m.set_backend("other", "logbucket")
+    with pytest.raises(ValueError):
+        Metrics(default_backend="nope")
+
+
+def test_metrics_merge_preserves_logbucket_backend():
+    a = Metrics(default_backend="logbucket", alpha=0.02)
+    b = Metrics(default_backend="logbucket", alpha=0.02)
+    for v in (10, 20, 30):
+        a.observe("lat", v)
+    b.observe("lat", 40)
+    merged = Metrics.merge([a, b])
+    assert isinstance(merged.histograms["lat"], LogBucketHistogram)
+    assert merged.histograms["lat"].count == 4
 
 
 def test_format_instruments_renders_percentile_columns():

@@ -98,6 +98,84 @@ def test_observability_does_not_perturb_schedule():
     assert obs.spans  # actually traced something
 
 
+def _full_obs():
+    # Every observational feature at once: windowed timeline, per-link
+    # window accounting, head-based sampling, log-bucketed histograms.
+    from repro.obs import Observability
+
+    return Observability(
+        timeline_window_ns=200_000_000, sample_every=4, hist_backend="logbucket"
+    )
+
+
+@pytest.mark.parametrize(
+    "app_name,manager,nprocs",
+    CASES,
+    ids=[f"{a}-{m}-p{p}" for a, m, p in CASES],
+)
+def test_timeline_and_sampling_preserve_schedule(app_name, manager, nprocs):
+    # The tentpole's soundness claim, asserted against every ring golden:
+    # with the timeline, windowed link accounting, and span sampling all
+    # enabled, (events_executed, time_ns) still match bit-for-bit.
+    got = _run(app_name, manager, nprocs, obs=_full_obs())
+    assert got == GOLDEN[f"{app_name}/{manager}/p{nprocs}"]
+
+
+@pytest.mark.parametrize("replacement", ["lru", "random"])
+def test_timeline_preserves_schedule_under_eviction(replacement):
+    got = _run(
+        "jacobi", "dynamic", 2, frames=12, replacement=replacement,
+        obs=_full_obs(),
+    )
+    assert got == GOLDEN[f"jacobi/dynamic/p2/frames12-{replacement}"]
+
+
+def test_sampled_span_set_is_reproducible():
+    # Head-based sampling is a pure hash of span ids: two identical runs
+    # must keep exactly the same spans, and strictly fewer than an
+    # unsampled run (i.e. the sampler actually dropped something).
+    from repro.obs import Observability
+
+    def sids(obs):
+        return [span.sid for span in obs.spans]
+
+    first, second = _full_obs(), _full_obs()
+    assert _run("jacobi", "dynamic", 2, obs=first) == _run(
+        "jacobi", "dynamic", 2, obs=second
+    )
+    assert sids(first) == sids(second)
+    assert first.spans.dropped == second.spans.dropped > 0
+
+    unsampled = Observability(timeline_window_ns=200_000_000)
+    _run("jacobi", "dynamic", 2, obs=unsampled)
+    assert 0 < len(first.spans.spans) < len(unsampled.spans.spans)
+    # Same sid allocation either way: the kept set is a subset.
+    assert set(sids(first)) < set(sids(unsampled))
+
+
+def test_timeline_and_sampling_draw_no_rng():
+    # Pure observation also means *no entropy consumption*: the named
+    # RNG streams must end a fully-observed run in exactly the state an
+    # unobserved run leaves them (same streams, same generator state).
+    def stream_states(obs):
+        cfg = (
+            ClusterConfig().replace(nodes=2).with_svm(algorithm="dynamic")
+            .with_memory(frames=12, replacement="random")
+        )
+        app = APPS["jacobi"](2)
+        ivy = Ivy(cfg, obs=obs)
+        app.check(ivy.run(app.main))
+        return {
+            name: gen.bit_generator.state
+            for name, gen in ivy.cluster.rngs._streams.items()
+        }
+
+    plain = stream_states(None)
+    observed = stream_states(_full_obs())
+    assert plain.keys() == observed.keys()
+    assert plain == observed
+
+
 @pytest.mark.parametrize("manager", MANAGERS)
 def test_oracle_clean_on_fast_path_runs(manager):
     # The coherence oracle (PR 1) watches every protocol transition; a

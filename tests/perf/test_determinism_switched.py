@@ -36,7 +36,7 @@ APPS = {
 MANAGERS = ("centralized", "dynamic", "broadcast")
 
 
-def _run(app_name: str, manager: str, nprocs: int, checker: bool = False):
+def _run(app_name: str, manager: str, nprocs: int, checker: bool = False, obs=None):
     cfg = (
         ClusterConfig()
         .replace(nodes=nprocs)
@@ -46,7 +46,7 @@ def _run(app_name: str, manager: str, nprocs: int, checker: bool = False):
     if checker:
         cfg = cfg.replace(checker=True)
     app = APPS[app_name](nprocs)
-    ivy = Ivy(cfg)
+    ivy = Ivy(cfg, obs=obs)
     result = ivy.run(app.main)
     app.check(result)
     return {
@@ -70,6 +70,35 @@ CASES = [
 )
 def test_switched_schedule_matches_golden(app_name, manager, nprocs):
     assert _run(app_name, manager, nprocs) == GOLDEN[f"{app_name}/{manager}/p{nprocs}"]
+
+
+@pytest.mark.parametrize(
+    "app_name,manager,nprocs",
+    CASES,
+    ids=[f"{a}-{m}-p{p}" for a, m, p in CASES],
+)
+def test_timeline_and_sampling_preserve_switched_schedule(app_name, manager, nprocs):
+    # Pure-observation proof on the switched backend: per-port window
+    # accounting in _hop, the timeline, and head-based span sampling
+    # must not move a single tick on any golden fixture.
+    from repro.obs import Observability
+
+    obs = Observability(
+        timeline_window_ns=200_000_000, sample_every=4, hist_backend="logbucket"
+    )
+    got = _run(app_name, manager, nprocs, obs=obs)
+    assert got == GOLDEN[f"{app_name}/{manager}/p{nprocs}"]
+
+
+def test_switched_timeline_sees_port_links():
+    # The windowed link series really is per-port on this backend.
+    from repro.obs import Observability
+
+    obs = Observability(timeline_window_ns=200_000_000)
+    _run("dotprod", "dynamic", 2, obs=obs)
+    links = obs.timeline.links()
+    assert any(name.startswith("tx[") for name in links)
+    assert any(name.startswith("rx[") for name in links)
 
 
 def test_oracle_clean_and_schedule_preserving_on_switched():
