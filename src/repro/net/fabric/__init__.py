@@ -39,6 +39,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.net.packet import Message, delivery_label
+from repro.net.pool import MessagePool, PagePool
 from repro.obs import NULL_OBS, Observability
 from repro.sim.kernel import Simulator
 from repro.sim.trace import NULL_TRACE, TraceRecorder
@@ -143,6 +144,14 @@ class Fabric:
         #: identically, whether or not anyone records them.
         self._timeline = obs.timeline if self._obs_on else None
         self.stats: FabricStats
+        #: Free-list pools for the zero-allocation message path, shared
+        #: by every transport endpoint on this fabric: envelopes are
+        #: acquired by the transport, retained per scheduled delivery in
+        #: :meth:`_schedule_delivery`, and released in :meth:`_deliver`
+        #: once the receiver callback returns.  ``pages`` recycles the
+        #: page-sized snapshot buffers the coherence servers ship.
+        self.pool = MessagePool()
+        self.pages = PagePool()
         self._receivers: dict[int, Callable[[Message], None]] = {}
         #: Deterministic drop hook for the schedule explorer's delay-
         #: injection strategy: consulted once per (msg, target) delivery
@@ -178,6 +187,9 @@ class Fabric:
     def _schedule_delivery(self, arrival: int, target: int, msg: Message) -> None:
         """Schedule ``msg``'s delivery at ``target`` for absolute time
         ``arrival``, labelled for the explorer when one is installed."""
+        # In-flight reference, dropped by _deliver: the creator may
+        # complete (and release) the envelope while copies are en route.
+        msg.refs += 1
         sim = self.sim
         if sim.scheduler is not None:
             # Labels matter only to an installed Scheduler; building one
@@ -195,6 +207,9 @@ class Fabric:
         if receiver is None:
             raise RuntimeError(f"no receiver attached at station {target}")
         receiver(msg)
+        # A server that keeps handling past this point took its own
+        # reference in RemoteOp._dispatch; the in-flight one ends here.
+        self.pool.release(msg)
 
 
 #: Known backend names -> human summary (the registry ``make_fabric``

@@ -1,0 +1,194 @@
+"""Calendar-queue timer lane: the kernel's heap, bucketed by time.
+
+The legacy kernel keeps every pending timer in one binary heap, paying
+O(log n) tuple comparisons per enqueue *and* per dequeue.  At two nodes
+that heap is a handful of entries; at 256 nodes it permanently holds
+hundreds of far-future retransmission timers (one per outstanding
+request, 500 ms out), so every delivery pushed and popped past them —
+the superlinear dispatch term the 64-256-node scale runs exposed.
+
+A calendar queue (Brown 1988) replaces the single heap with a wheel of
+``NBUCKETS`` buckets of ``2**WIDTH_SHIFT`` ns each — one "day" of
+``NBUCKETS << WIDTH_SHIFT`` ns — plus an overflow heap for events beyond
+the current day (the retransmit timers, by design).  Near-term events
+touch only their own small bucket: enqueue and dequeue are O(1)
+amortised in the total queue size, and the far-future timers sit in the
+overflow heap without being compared against anything until their day
+arrives.
+
+**Ordering is exact, not approximate.**  Entries are the kernel's
+6-tuples ``(when, seq, handle, fn, args, label)``; the reproducibility
+invariant is that events fire in ``(when, seq)`` order:
+
+- within a bucket, entries form a ``heapq`` heap — tuple comparison
+  yields ``(when, seq)`` order directly (``seq`` is unique, so the
+  non-comparable tail is never compared);
+- buckets within a day cover disjoint, increasing time ranges;
+- the wheel holds *only* the current day and the overflow heap *only*
+  later days, so the wheel's minimum always precedes the overflow's.
+
+The day invariant is maintained by doing the day advance at *pop* time,
+never at peek: ``Simulator.run``'s until-path peeks without popping and
+then lets callers schedule at times earlier than the peeked event, which
+would land behind an eagerly-advanced wheel.  A push into the current
+day can land before the cursor (same until-path: the clock moved
+backwards relative to the last pop's bucket), so pushes rewind the
+cursor; pops advance it.  Cancelled tombstones are filtered at the front
+of each bucket on peek — the same lazy discipline the heap loop uses —
+and in bulk when a day refills from the overflow heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import CancelHandle
+
+__all__ = ["CalendarQueue", "NBUCKETS", "WIDTH_SHIFT"]
+
+#: log2 of the bucket width: 2**16 ns = 65.536 us per bucket.  Chosen so
+#: the common protocol delays (20 us local delivery, 500 us transport
+#: CPU, link occupancies) span one to a few buckets.
+WIDTH_SHIFT = 16
+
+#: Buckets per day (must be a power of two).  256 buckets of 65.536 us
+#: give a 16.777 ms day: page-fault round trips stay inside the wheel,
+#: while 500 ms retransmission timeouts land ~30 days out in the
+#: overflow heap — exactly the split the design wants.
+NBUCKETS = 256
+
+_BUCKET_MASK = NBUCKETS - 1
+_DAY_SHIFT = WIDTH_SHIFT + 8  # NBUCKETS == 1 << 8
+
+#: The kernel's event record (see repro.sim.kernel.Simulator._heap).
+Entry = tuple[
+    int, int, "CancelHandle", Callable[..., None], tuple[Any, ...], str | None
+]
+
+
+class CalendarQueue:
+    """Exact-order calendar queue over the kernel's 6-tuple entries.
+
+    ``len()`` counts queued entries including cancelled tombstones, the
+    same accounting the heap lane reports via ``Simulator.pending``.
+    """
+
+    __slots__ = ("_wheel", "_overflow", "_day", "_cursor", "_len")
+
+    def __init__(self) -> None:
+        self._wheel: list[list[Entry]] = [[] for _ in range(NBUCKETS)]
+        self._overflow: list[Entry] = []
+        #: Day index (``when >> _DAY_SHIFT``) the wheel currently covers.
+        self._day = 0
+        #: First wheel bucket that may be non-empty; buckets before it
+        #: are empty and stay empty until a push rewinds the cursor.
+        self._cursor = 0
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    # ------------------------------------------------------------------
+
+    def push(self, entry: Entry) -> None:
+        """Insert ``entry``; ``entry[0]`` must be >= the current day's
+        start (guaranteed by the kernel: events are never scheduled in
+        the past, and the day only advances onto executed events)."""
+        when = entry[0]
+        if (when >> _DAY_SHIFT) == self._day:
+            idx = (when >> WIDTH_SHIFT) & _BUCKET_MASK
+            heapq.heappush(self._wheel[idx], entry)
+            if idx < self._cursor:
+                self._cursor = idx
+        else:
+            heapq.heappush(self._overflow, entry)
+        self._len += 1
+
+    def peek(self) -> Entry | None:
+        """The live ``(when, seq)``-minimum entry, or None when empty.
+
+        Purges cancelled tombstones from the queue front as a side
+        effect; never advances the day (see module docstring)."""
+        wheel = self._wheel
+        cur = self._cursor
+        heappop = heapq.heappop
+        while cur < NBUCKETS:
+            bucket = wheel[cur]
+            while bucket and bucket[0][2].cancelled:
+                heappop(bucket)
+                self._len -= 1
+            if bucket:
+                self._cursor = cur
+                return bucket[0]
+            cur += 1
+        self._cursor = NBUCKETS
+        overflow = self._overflow
+        while overflow and overflow[0][2].cancelled:
+            heappop(overflow)
+            self._len -= 1
+        return overflow[0] if overflow else None
+
+    def pop(self) -> Entry:
+        """Remove and return the live minimum entry."""
+        if self.peek() is None:
+            raise IndexError("pop from an empty CalendarQueue")
+        return self.pop_front()
+
+    def pop_front(self) -> Entry:
+        """Remove and return the entry the immediately preceding
+        :meth:`peek` returned (which must have been non-None).
+
+        The cursor still points at the head's bucket — or past the wheel
+        with the head at the overflow front — so no rescan is needed.
+        Callers must not have pushed or cancelled since that peek; the
+        run loop's peek→merge→pop sequence satisfies this by shape.
+
+        When the wheel is drained, jumps the day straight to the one
+        containing the overflow minimum (no scan across empty days — a
+        500 ms retransmit gap is one jump) and refills that day's
+        buckets, dropping cancelled overflow entries in bulk.
+        """
+        if self._cursor < NBUCKETS:
+            self._len -= 1
+            return heapq.heappop(self._wheel[self._cursor])
+        # Wheel empty: the head is the overflow minimum.  Rebase the
+        # wheel on its day and move that whole day out of the overflow.
+        overflow = self._overflow
+        wheel = self._wheel
+        entry = overflow[0]
+        day = entry[0] >> _DAY_SHIFT
+        self._day = day
+        day_end = (day + 1) << _DAY_SHIFT
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        while overflow and overflow[0][0] < day_end:
+            moved = heappop(overflow)
+            if moved[2].cancelled:
+                self._len -= 1
+                continue
+            heappush(wheel[(moved[0] >> WIDTH_SHIFT) & _BUCKET_MASK], moved)
+        idx = (entry[0] >> WIDTH_SHIFT) & _BUCKET_MASK
+        self._cursor = idx
+        heapq.heappop(wheel[idx])
+        self._len -= 1
+        return entry
+
+    def drain(self) -> list[Entry]:
+        """Remove and return every queued entry (tombstones included).
+
+        Order is arbitrary — the consumer (``_run_controlled``) heapifies.
+        """
+        out: list[Entry] = []
+        for bucket in self._wheel:
+            out.extend(bucket)
+            bucket.clear()
+        out.extend(self._overflow)
+        self._overflow.clear()
+        self._len = 0
+        self._cursor = 0
+        return out

@@ -150,6 +150,12 @@ class CoherenceProtocol:
         #: run inside servers and fault handlers without perturbing
         #: simulated time.
         self.checker = None
+        #: Page-snapshot free list, shared fabric-wide (repro.net.pool).
+        #: Servers snapshot frames into pooled buffers; the *unicast
+        #: requester* returns each buffer once its bytes are installed
+        #: (or proven stale).  Multicast payloads (update pushes) are
+        #: shared by many receivers and never come from this pool.
+        self._pages = remote.transport.ring.pages
         for op, page_of in type(self).SCHED_FOOTPRINTS.items():
             annotate_op(op, page_of)
         remote.register(OP_READ, self._serve_read)
@@ -338,13 +344,18 @@ class CoherenceProtocol:
                     if entry.inv_epoch != epoch:
                         # Our copy was invalidated while in flight: the page
                         # has a newer owner; chase it.
+                        if data is not None:
+                            self._pages.give(data)
                         self.counters.inc("stale_read_retries")
                         continue
                     # `data` is already a uint8 ndarray snapshot (the owner
                     # copies its frame at serve time); install() copies it
-                    # into the local frame.
+                    # into the local frame, after which the pooled buffer
+                    # is dead and goes back to the free list.
                     if self.pager.try_install(page, data) is None:
                         yield from self.pager.install(page, data)
+                    if data is not None:
+                        self._pages.give(data)
                     if entry.inv_epoch != epoch:
                         # install() may consume time under frame pressure
                         # (evictions hit the disk); an invalidation that
@@ -470,6 +481,8 @@ class CoherenceProtocol:
             )
             if self.pager.try_install(page, data) is None:
                 yield from self.pager.install(page, data)
+            if data is not None:
+                self._pages.give(data)
             entry.is_owner = True
             entry.on_disk = False
             entry.prob_owner = self.node_id
@@ -581,10 +594,11 @@ class CoherenceProtocol:
             yield from self._materialize_owner(page, entry)
             entry.copy_set.add(origin)
             entry.access = Access.READ
-            # Snapshot the frame as an ndarray (one copy, no bytes-object
-            # round trip).  A zero-copy view would be unsafe: the owner may
-            # upgrade-write this very frame while the reply is in flight.
-            data = self.memory.data(page).copy()
+            # Snapshot the frame into a pooled buffer (one copy, no
+            # bytes-object round trip).  A zero-copy view would be unsafe:
+            # the owner may upgrade-write this very frame while the reply
+            # is in flight.  The requester returns the buffer at install.
+            data = self._pages.copy_of(self.memory.data(page))
             yield Compute(self.page_size * self.config.cpu.ns_per_byte_copy)
             self.counters.inc("page_copies_sent")
             if self._observed:
@@ -621,7 +635,7 @@ class CoherenceProtocol:
                 self.counters.inc("zero_grants")
             else:
                 yield from self._materialize_owner(page, entry)
-                data = self.memory.data(page).copy()
+                data = self._pages.copy_of(self.memory.data(page))
                 nbytes = self.page_size + 48
             keep_copy = self.update_policy and data is not None
             members = set(entry.copy_set)

@@ -1,0 +1,9 @@
+"""Mutation: a calendar-queue day refill that orders its buckets by
+``id()`` — CPython heap-address order, different every run.  The real
+queue orders by the entry's ``(when, seq)`` tuple (``det-id-order``)."""
+
+
+def refill(buckets):
+    for bucket in sorted(buckets, key=lambda b: id(b)):
+        while bucket:
+            yield bucket.pop(0)

@@ -1,0 +1,12 @@
+"""Mutation: a message pool holding its free list in a ``set`` and
+recycling in iteration order — which envelope a request reuses (and
+hence its identity-dependent behaviour) becomes hash order, different
+every run.  The real pool uses a LIFO list (``det-set-iteration``)."""
+
+
+def acquire(free, make):
+    idle = set(free)
+    for msg in idle:  # recycle "any" envelope: hash order, not LIFO
+        idle.discard(msg)
+        return msg
+    return make()

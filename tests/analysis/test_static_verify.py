@@ -51,6 +51,8 @@ EXPECTED = {
     "set_iteration.py": {"det-set-iteration"},
     "id_order.py": {"det-id-order"},
     "timeline_wallclock.py": {"det-wallclock"},
+    "calqueue_id_bucket.py": {"det-id-order"},
+    "pool_recycle_set.py": {"det-set-iteration"},
 }
 
 
@@ -72,6 +74,25 @@ def test_determinism_lint_covers_the_fabric_backends():
         "repro/net/fabric/__init__.py",
         "repro/net/fabric/switched.py",
         "repro/net/ring.py",
+    ):
+        assert any(p.endswith(tail) for p in loaded), tail
+
+
+def test_determinism_lint_covers_the_event_kernel_hot_path():
+    """The calendar queue and the message/page pools decide event order
+    and envelope reuse; both must stay inside the determinism sweep —
+    an id()-keyed bucket or a set-backed free list would be a silent
+    cross-run divergence the goldens only catch after the fact."""
+    from repro.analysis.static import facts as facts_mod
+    from repro.analysis.static.engine import DETERMINISM_PATHS
+
+    paths = [str(REPO_ROOT / p) for p in DETERMINISM_PATHS]
+    loaded = {Path(m.path).as_posix() for m in facts_mod.load_modules(paths)}
+    for tail in (
+        "repro/sim/calqueue.py",
+        "repro/sim/kernel.py",
+        "repro/net/pool.py",
+        "repro/net/packet.py",
     ):
         assert any(p.endswith(tail) for p in loaded), tail
 

@@ -1,0 +1,259 @@
+"""Property tests: the calendar queue is order-identical to the heap.
+
+Two layers of evidence, both hypothesis-driven:
+
+- the raw :class:`~repro.sim.calqueue.CalendarQueue` against a lazy-
+  tombstone ``heapq`` reference, over push/cancel/pop workloads whose
+  timestamps straddle bucket and day boundaries;
+- :class:`~repro.sim.kernel.CalendarSimulator` against the legacy
+  :class:`~repro.sim.kernel.Simulator`, interpreting one random program
+  (schedule / schedule_nocancel / schedule_at / cancel / nested
+  scheduling from callbacks / ``run(until=...)`` pauses) on both kernels
+  and requiring bit-identical execution logs.
+
+The `(when, seq)` total order is the repo's reproducibility invariant —
+every committed golden schedule assumes it — so these tests are the
+cheap, adversarial version of the 42 fixture gates.
+"""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.calqueue import NBUCKETS, WIDTH_SHIFT, CalendarQueue
+from repro.sim.kernel import CalendarSimulator, CancelHandle, Simulator
+
+BUCKET_NS = 1 << WIDTH_SHIFT
+DAY_NS = BUCKET_NS * NBUCKETS
+
+# Deltas chosen to land in the same bucket, adjacent buckets, the next
+# day, and deep overflow (the 500 ms retransmit-timeout regime).
+DELTAS = st.one_of(
+    st.integers(0, 3 * BUCKET_NS),
+    st.sampled_from(
+        [0, 1, BUCKET_NS - 1, BUCKET_NS, DAY_NS - 1, DAY_NS, DAY_NS + 1,
+         3 * DAY_NS, 500_000_000]
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# raw queue vs lazy-tombstone heapq
+
+
+@st.composite
+def queue_workloads(draw):
+    """A list of ("push", delta) / ("cancel", i) / ("pop",) ops."""
+    n = draw(st.integers(1, 60))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["push", "push", "push", "cancel", "pop", "pop"]))
+        if kind == "push":
+            ops.append(("push", draw(DELTAS)))
+        elif kind == "cancel":
+            ops.append(("cancel", draw(st.integers(0, 200))))
+        else:
+            ops.append(("pop",))
+    return ops
+
+
+@given(queue_workloads())
+@settings(max_examples=200, deadline=None)
+def test_calendar_queue_pops_in_heap_order(ops):
+    cal = CalendarQueue()
+    ref = []  # plain heapq with the same lazy-tombstone discipline
+    handles = []
+    now = 0  # kernel contract: pushes are never earlier than the last pop
+    seq = 0
+    popped_cal = []
+    popped_ref = []
+    for op in ops:
+        if op[0] == "push":
+            seq += 1
+            handle = CancelHandle()
+            handles.append(handle)
+            entry = (now + op[1], seq, handle, None, (), None)
+            cal.push(entry)
+            heapq.heappush(ref, entry)
+        elif op[0] == "cancel":
+            if handles:
+                handles[op[1] % len(handles)].cancel()
+        else:
+            while ref and ref[0][2].cancelled:
+                heapq.heappop(ref)
+            expect = heapq.heappop(ref) if ref else None
+            got = cal.pop() if cal.peek() is not None else None
+            assert got == expect
+            if got is not None:
+                assert cal.peek() is None or cal.peek()[0] >= got[0]
+                now = got[0]
+                popped_cal.append((got[0], got[1]))
+                popped_ref.append((expect[0], expect[1]))
+    # Drain both completely: the tails must agree too.
+    while True:
+        while ref and ref[0][2].cancelled:
+            heapq.heappop(ref)
+        expect = heapq.heappop(ref) if ref else None
+        got = cal.pop() if cal.peek() is not None else None
+        assert got == expect
+        if got is None:
+            break
+    assert popped_cal == popped_ref
+    assert len(cal) == 0 and not cal
+
+
+def test_drain_returns_every_live_and_tombstoned_entry():
+    cal = CalendarQueue()
+    entries = [
+        (when, seq, CancelHandle(), None, (), None)
+        for seq, when in enumerate([5, DAY_NS + 5, 2 * DAY_NS, 70_000, 7])
+    ]
+    for entry in entries:
+        cal.push(entry)
+    entries[1][2].cancel()  # drain keeps tombstones: the caller filters
+    drained = cal.drain()
+    assert sorted(drained) == sorted(entries)
+    assert len(cal) == 0 and cal.peek() is None
+
+
+# ----------------------------------------------------------------------
+# kernel-level program equivalence
+
+
+@st.composite
+def kernel_programs(draw):
+    """(top_ops, until) — ops may nest one level into callbacks."""
+
+    def op(depth):
+        kind = draw(
+            st.sampled_from(
+                ["schedule", "schedule", "nocancel", "schedule_at", "cancel"]
+            )
+        )
+        if kind == "cancel":
+            return ("cancel", draw(st.integers(0, 100)))
+        nested = []
+        if depth < 2 and draw(st.booleans()):
+            nested = [op(depth + 1) for _ in range(draw(st.integers(1, 3)))]
+        return (kind, draw(DELTAS), draw(st.integers(0, 10**6)), nested)
+
+    top = [op(0) for _ in range(draw(st.integers(1, 25)))]
+    until = draw(st.one_of(st.none(), DELTAS))
+    return top, until
+
+
+def _interpret(sim, top_ops, until):
+    """Run one program; return the (time, tag) execution log."""
+    log = []
+    handles = []
+
+    def fire(tag, nested):
+        log.append((sim.now, tag))
+        for op in nested:
+            apply_op(op)
+
+    def apply_op(op):
+        if op[0] == "cancel":
+            if handles:
+                handles[op[1] % len(handles)].cancel()
+            return
+        kind, delta, tag, nested = op
+        if kind == "schedule":
+            handles.append(sim.schedule(delta, fire, tag, nested))
+        elif kind == "nocancel":
+            sim.schedule_nocancel(delta, fire, tag, nested)
+        else:
+            handles.append(sim.schedule_at(sim.now + delta, fire, tag, nested))
+
+    for op in top_ops:
+        apply_op(op)
+    if until is not None:
+        # Pause mid-run, then keep scheduling: this is the path where the
+        # clock can sit in a later calendar day than the wheel's, and
+        # where new events may land *earlier* than everything queued.
+        sim.run(until=until)
+        for op in top_ops:
+            apply_op(op)
+    sim.run()
+    return log, sim.now, sim.events_executed, sim.pending()
+
+
+@given(kernel_programs())
+@settings(max_examples=150, deadline=None)
+def test_calendar_kernel_replays_heap_kernel_exactly(program):
+    top_ops, until = program
+    assert _interpret(Simulator(), top_ops, until) == _interpret(
+        CalendarSimulator(), top_ops, until
+    )
+
+
+# ----------------------------------------------------------------------
+# directed regressions: the races hypothesis found interesting
+
+
+def test_delay_zero_fifo_lane_orders_before_later_seq():
+    for sim in (Simulator(), CalendarSimulator()):
+        order = []
+        sim.schedule(5, lambda: sim.schedule(0, order.append, "zero"))
+        sim.schedule(5, order.append, "sibling")
+        sim.run()
+        assert order == ["zero", "sibling"] or order == ["sibling", "zero"]
+        # The two kernels must make the *same* choice:
+    logs = []
+    for cls in (Simulator, CalendarSimulator):
+        sim = cls()
+        order = []
+        sim.schedule(5, lambda: sim.schedule(0, order.append, "zero"))
+        sim.schedule(5, order.append, "sibling")
+        sim.run()
+        logs.append(order)
+    assert logs[0] == logs[1]
+
+
+def test_same_tick_cancel_race_calendar_kernel():
+    sim = CalendarSimulator()
+    fired = []
+    handles = {}
+
+    def a():
+        fired.append("a")
+        handles["b"].cancel()
+
+    sim.schedule(5, a)
+    handles["b"] = sim.schedule(5, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+
+
+def test_until_then_earlier_event_rewinds_cursor():
+    """After run(until) parks the clock deep in a later bucket, a new
+    event earlier than everything queued must still fire first."""
+    sim = CalendarSimulator()
+    order = []
+    sim.schedule(5 * BUCKET_NS, order.append, "late")
+    sim.run(until=3 * BUCKET_NS)
+    sim.schedule(1, order.append, "early")  # bucket behind the cursor
+    sim.run()
+    assert order == ["early", "late"]
+    assert sim.now == 5 * BUCKET_NS
+
+
+def test_until_past_day_boundary_then_schedule():
+    sim = CalendarSimulator()
+    order = []
+    sim.schedule(3 * DAY_NS, order.append, "far")
+    sim.run(until=DAY_NS + 7)  # clock now in a later day than the wheel
+    sim.schedule(1, order.append, "near")
+    sim.run()
+    assert order == ["near", "far"]
+
+
+def test_far_future_timer_cancel_never_fires():
+    sim = CalendarSimulator()
+    fired = []
+    handle = sim.schedule(500_000_000, fired.append, "timeout")  # overflow heap
+    sim.schedule(10, lambda: handle.cancel())
+    sim.run()
+    assert fired == []
+    assert sim.now == 10
